@@ -1,0 +1,37 @@
+"""Ablations for the paper's extensions: quality-maintained pools and hybrid re-weighting."""
+
+from conftest import report, run_once
+
+from repro.experiments.extensions import (
+    run_quality_maintenance_experiment,
+    run_reweighting_ablation,
+)
+
+
+def test_ablation_quality_maintained_pool(benchmark, seed):
+    result = run_once(
+        benchmark, lambda: run_quality_maintenance_experiment(num_tasks=90, seed=seed)
+    )
+    report(
+        "Extension (S4.2) — maintaining the pool on quality instead of speed",
+        ["pool", "label accuracy", "total latency (s)", "replacements"],
+        result.rows(),
+    )
+    assert result.replacements["quality-maintained"] >= 1
+    assert (
+        result.label_accuracy["quality-maintained"]
+        >= result.label_accuracy["unmaintained"] - 0.05
+    )
+
+
+def test_ablation_hybrid_reweighting(benchmark, seed):
+    result = run_once(
+        benchmark, lambda: run_reweighting_ablation(boosts=(0.5, 1.0, 2.0, 4.0), seed=seed)
+    )
+    report(
+        "Extension (S5.1/S7) — hybrid active-point weight boost",
+        ["active weight boost", "final accuracy"],
+        result.rows(),
+    )
+    accuracies = list(result.accuracies.values())
+    assert max(accuracies) - min(accuracies) < 0.25

@@ -1,0 +1,22 @@
+"""§6.6 headline numbers: throughput speedup and variance reduction vs Base-NR."""
+
+from conftest import report, run_once
+
+from repro.experiments.end_to_end import headline_numbers, run_end_to_end_experiment
+
+
+def test_e2e_headline_numbers(benchmark, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_end_to_end_experiment(num_records=250, pool_size=10, seed=seed),
+    )
+    for comparison in result.comparisons:
+        numbers = headline_numbers(comparison)
+        report(
+            f"S6.6 headline numbers on {comparison.dataset_name} (measured vs paper)",
+            ["metric", "measured", "paper"],
+            numbers.rows(),
+        )
+    for comparison in result.comparisons:
+        assert comparison.throughput_speedup() > 2.0
+        assert comparison.variance_reduction() > 1.5

@@ -1,0 +1,16 @@
+"""Figure 12: combining straggler mitigation and pool maintenance (2x2 factorial)."""
+
+from conftest import report, run_once
+
+from repro.experiments.combined import run_combined_experiment
+
+
+def test_fig12_combined_techniques(benchmark, seed):
+    result = run_once(benchmark, lambda: run_combined_experiment(num_tasks=100, seed=seed))
+    report(
+        "Figure 12 — combined techniques (paper: up to 6x latency, 15x stddev reduction)",
+        ["config", "total latency (s)", "batch latency std (s)", "cost ($)"],
+        result.summary_rows(),
+    )
+    assert result.speedup_over_baseline("SM/PM8") > 1.5
+    assert result.speedup_over_baseline("SM/PMinf") > 1.5

@@ -1,0 +1,23 @@
+"""Figure 17: wall-clock time to reach accuracy thresholds for the three strategies."""
+
+from conftest import report, run_once
+
+from repro.experiments.end_to_end import run_end_to_end_experiment
+
+
+def test_fig17_time_to_accuracy(benchmark, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_end_to_end_experiment(num_records=250, pool_size=10, seed=seed),
+    )
+    for comparison in result.comparisons:
+        report(
+            f"Figure 17 — seconds to reach accuracy thresholds on {comparison.dataset_name}"
+            " (paper: CLAMShell 4-5x faster than Base-NR to 75%)",
+            ["threshold", "CLAMShell", "Base-R", "Base-NR"],
+            comparison.time_to_accuracy_rows((0.60, 0.65, 0.70, 0.75, 0.80)),
+        )
+    for comparison in result.comparisons:
+        speedup = comparison.speedup_to_accuracy(0.65)
+        if speedup is not None:
+            assert speedup > 1.5

@@ -1,0 +1,27 @@
+"""Figure 2: CDFs of per-worker mean and standard-deviation latency."""
+
+from conftest import report, run_once
+
+from repro.experiments.taxonomy import run_taxonomy_experiment
+
+
+def test_fig2_worker_latency_cdfs(benchmark, seed):
+    result = run_once(
+        benchmark, lambda: run_taxonomy_experiment(num_tasks=20_000, num_workers=300, seed=seed)
+    )
+    quantiles = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+    rows = [
+        [
+            f"p{int(q * 100)}",
+            round(result.mean_latency_cdf.quantile(q) / 60.0, 2),
+            round(result.std_latency_cdf.quantile(q) / 60.0, 2),
+        ]
+        for q in quantiles
+    ]
+    report(
+        "Figure 2 — per-worker latency CDFs (minutes)",
+        ["quantile", "mean latency", "std latency"],
+        rows,
+    )
+    # The paper's observation: means span tens of seconds to hours.
+    assert result.mean_latency_cdf.quantile(0.99) > 10 * result.mean_latency_cdf.quantile(0.1)

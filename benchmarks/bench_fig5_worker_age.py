@@ -1,0 +1,44 @@
+"""Figure 5: per-label latency versus worker age, with and without maintenance."""
+
+from conftest import report, run_once
+
+from repro.experiments.pool_maintenance import (
+    run_pool_maintenance_experiment,
+    slow_task_fraction_by_age,
+    worker_age_scatter,
+)
+
+
+def test_fig5_worker_age_vs_latency(benchmark, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_pool_maintenance_experiment(
+            num_tasks=120, complexities={"medium": 5, "complex": 10}, seed=seed
+        ),
+    )
+    rows = []
+    for comparison in result.comparisons:
+        points = worker_age_scatter(comparison)
+        for maintained in (True, False):
+            for cutoff in (0, 5, 15):
+                fraction = slow_task_fraction_by_age(points, cutoff, maintained)
+                rows.append(
+                    [
+                        comparison.complexity,
+                        "PM8" if maintained else "PMinf",
+                        f">={cutoff} tasks",
+                        round(fraction, 3),
+                    ]
+                )
+    report(
+        "Figure 5 — fraction of slow (>=8 s/label) tasks by worker age",
+        ["complexity", "config", "worker age", "slow fraction"],
+        rows,
+    )
+    # With maintenance, experienced workers should produce (at most) as many
+    # slow tasks as without it.
+    for comparison in result.comparisons:
+        points = worker_age_scatter(comparison)
+        assert slow_task_fraction_by_age(points, 5, True) <= slow_task_fraction_by_age(
+            points, 5, False
+        ) + 0.05

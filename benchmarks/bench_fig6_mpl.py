@@ -1,0 +1,44 @@
+"""Figure 6: mean pool latency per batch with and without maintenance."""
+
+import numpy as np
+from conftest import report, run_once
+
+from repro.experiments.pool_maintenance import run_pool_maintenance_experiment
+
+
+def test_fig6_mean_pool_latency(benchmark, seed):
+    result = run_once(
+        benchmark,
+        lambda: run_pool_maintenance_experiment(
+            num_tasks=150, complexities={"medium": 5}, seed=seed
+        ),
+    )
+    comparison = result.comparisons[0]
+    curves = comparison.mean_pool_latency_curves()
+    rows = []
+    for index in range(
+        max(len(curves["maintained"]), len(curves["unmaintained"]))
+    ):
+        maintained = (
+            round(curves["maintained"][index][1], 1)
+            if index < len(curves["maintained"]) and curves["maintained"][index][1] is not None
+            else "-"
+        )
+        unmaintained = (
+            round(curves["unmaintained"][index][1], 1)
+            if index < len(curves["unmaintained"]) and curves["unmaintained"][index][1] is not None
+            else "-"
+        )
+        rows.append([index, maintained, unmaintained])
+    report(
+        "Figure 6 — mean pool latency per batch (seconds per task)",
+        ["batch", "PM8", "PMinf"],
+        rows,
+    )
+    maintained_tail = np.mean(
+        [m for _, m in curves["maintained"][3:] if m is not None]
+    )
+    unmaintained_tail = np.mean(
+        [m for _, m in curves["unmaintained"][3:] if m is not None]
+    )
+    assert maintained_tail < unmaintained_tail

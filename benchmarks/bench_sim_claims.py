@@ -1,0 +1,59 @@
+"""§4.1 / §4.2 simulation claims: routing policy, R sweep, convergence, QC decoupling."""
+
+from conftest import report, run_once
+
+from repro.experiments.simulation_claims import (
+    run_convergence_experiment,
+    run_decoupling_experiment,
+    run_ratio_sweep,
+    run_routing_policy_experiment,
+)
+
+
+def test_sim_routing_policy_irrelevance(benchmark, seed):
+    result = run_once(benchmark, lambda: run_routing_policy_experiment(num_tasks=90, seed=seed))
+    report(
+        "S4.1 — straggler routing policies (paper: random matches the oracle)",
+        ["policy", "mean batch latency (s)"],
+        result.rows(),
+    )
+    assert result.max_relative_spread() < 0.6
+
+
+def test_sim_pool_batch_ratio_sweep(benchmark, seed):
+    result = run_once(
+        benchmark, lambda: run_ratio_sweep(ratios=(0.5, 1.0, 2.0, 3.0), num_tasks=60, seed=seed)
+    )
+    report(
+        "S4.1 — batch latency vs pool-to-batch ratio R (mitigation on)",
+        ["R", "mean batch latency (s)", "batch latency std (s)"],
+        result.rows(),
+    )
+    assert result.latency_decreases_with_ratio()
+
+
+def test_sim_maintenance_convergence_model(benchmark, seed):
+    result = run_once(benchmark, lambda: run_convergence_experiment(num_batches=25, seed=seed))
+    rows = [
+        [index, round(observed, 2), round(predicted, 2)]
+        for index, (observed, predicted) in enumerate(
+            zip(result.observed_mpl, result.predicted_mpl)
+        )
+    ]
+    report(
+        "S4.2 — observed MPL vs analytic convergence model "
+        f"(mu_fast={result.mu_fast:.1f}s, mu_slow={result.mu_slow:.1f}s, q={result.q:.2f})",
+        ["maintenance step", "observed MPL (s)", "model prediction (s)"],
+        rows,
+    )
+    assert result.converged_toward_fast_mean()
+
+
+def test_sim_quality_control_decoupling(benchmark, seed):
+    result = run_once(benchmark, lambda: run_decoupling_experiment(num_tasks=40, seed=seed))
+    report(
+        "S4.1 — decoupling SM from quality control (paper: up to 30% improvement)",
+        ["scheme", "total latency (s)", "cost ($)"],
+        result.rows(),
+    )
+    assert result.decoupled.total_latency <= result.naive.total_latency * 1.2

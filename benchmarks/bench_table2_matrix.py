@@ -1,0 +1,24 @@
+"""Table 2: the technique impact matrix, derived from measured runs."""
+
+from conftest import report, run_once
+
+from repro.experiments.summary import build_technique_matrix
+
+
+def test_table2_technique_matrix(benchmark, seed):
+    matrix = run_once(
+        benchmark,
+        lambda: build_technique_matrix(
+            num_tasks=60, pool_size=12, num_learning_records=100, seed=seed
+        ),
+    )
+    report(
+        "Table 2 — technique impact matrix (measured)",
+        ["technique", "mean latency", "variance", "cost", "general"],
+        matrix.rows(),
+    )
+    straggler = matrix.by_technique("straggler")
+    pool = matrix.by_technique("pool")
+    assert straggler.improves_mean_latency and straggler.reduces_variance
+    assert straggler.increases_cost
+    assert pool.improves_mean_latency

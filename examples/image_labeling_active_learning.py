@@ -1,0 +1,70 @@
+"""Training an image classifier with crowd labels: hybrid vs active vs passive.
+
+Reproduces the §6.5 / §6.6 workflow on the MNIST-like stand-in dataset: a
+model must be trained to a target accuracy using as little wall-clock time as
+possible, with the crowd pool as the bottleneck.  The script compares
+
+* pure active learning (small uncertainty-sampled batches, the Base-R way),
+* pure passive learning (random sampling at full pool parallelism), and
+* CLAMShell's hybrid learning (active batch + passive filler points),
+
+and prints each strategy's learning curve and time-to-accuracy.
+
+Run with::
+
+    python examples/image_labeling_active_learning.py
+"""
+
+from __future__ import annotations
+
+from repro import make_mnist_like
+from repro.experiments.hybrid_learning import compare_strategies_on_dataset
+
+TARGET_ACCURACY = 0.55
+NUM_LABELS = 250
+POOL_SIZE = 10
+
+
+def main():
+    dataset = make_mnist_like(n_samples=2500, n_features=256, seed=1)
+    print(
+        f"Training a {dataset.num_classes}-class classifier on {dataset.name} "
+        f"({dataset.num_features} features) with a pool of {POOL_SIZE} workers "
+        f"and a budget of {NUM_LABELS} crowd labels.\n"
+    )
+    cell = compare_strategies_on_dataset(
+        dataset,
+        num_records=NUM_LABELS,
+        pool_size=POOL_SIZE,
+        active_fraction=0.5,
+        seed=1,
+    )
+
+    print(f"{'strategy':<10} {'labels':>7} {'wall clock':>11} {'final acc':>10} "
+          f"{'time to ' + format(TARGET_ACCURACY, '.0%'):>14}")
+    for name, curve in cell.curves.items():
+        final = curve.points[-1]
+        to_target = curve.time_to_accuracy(TARGET_ACCURACY)
+        to_target_text = f"{to_target:10.1f} s" if to_target is not None else "     never"
+        print(
+            f"{name:<10} {final.num_labels:>7} {final.wall_clock_seconds:>9.1f} s "
+            f"{final.accuracy:>10.3f} {to_target_text:>14}"
+        )
+
+    print("\nLearning curves (accuracy after each batch):")
+    for name, curve in cell.curves.items():
+        trail = "  ".join(
+            f"{p.wall_clock_seconds:6.0f}s:{p.accuracy:.2f}" for p in curve.points[1::2]
+        )
+        print(f"  {name:<8} {trail}")
+
+    at_time = cell.accuracies_at_common_time()
+    best = max(at_time, key=at_time.get)
+    print(
+        f"\nAt the same wall-clock budget, the best strategy is '{best}' "
+        f"({at_time[best]:.3f} accuracy); hybrid achieves {at_time['hybrid']:.3f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed in fully offline environments (no access to
+PyPI for build isolation, no ``wheel`` package) via::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+which falls back to the classic ``setup.py develop`` code path.
+"""
+
+from setuptools import setup
+
+setup()

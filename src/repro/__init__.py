@@ -1,0 +1,88 @@
+"""repro — a reproduction of CLAMShell (Haas et al., VLDB 2015).
+
+CLAMShell is a system for acquiring crowd labels at interactive speed.  This
+package implements the full system on top of a simulated crowd platform:
+
+* ``repro.crowd`` — the crowd substrate (simulated MTurk, retainer pools,
+  worker populations, synthetic traces);
+* ``repro.learning`` — the learning substrate (logistic regression, dataset
+  generators, active/passive/hybrid learners, asynchronous retraining);
+* ``repro.core`` — CLAMShell itself (straggler mitigation, pool maintenance,
+  TermEst, quality control, the Batcher/LifeGuard orchestration, metrics);
+* ``repro.analysis`` — latency profiling and statistics;
+* ``repro.experiments`` — drivers reproducing every figure and table in the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import CLAMShell, full_clamshell, make_cifar_like
+
+    dataset = make_cifar_like(seed=0)
+    result = CLAMShell(config=full_clamshell(), dataset=dataset).run(num_records=200)
+    print(result.final_accuracy)
+"""
+
+from .core import (
+    CLAMShell,
+    CLAMShellConfig,
+    LearningStrategy,
+    PayRates,
+    RunResult,
+    StragglerRoutingPolicy,
+    baseline_no_retainer,
+    baseline_retainer,
+    crowd_labeling_objective,
+    full_clamshell,
+    speedup_factor,
+    variance_reduction_factor,
+)
+from .crowd import (
+    SimulatedCrowdPlatform,
+    WorkerPopulation,
+    WorkerProfile,
+    default_simulation_population,
+    generate_medical_trace,
+    summarize_trace,
+)
+from .learning import (
+    Dataset,
+    LearningCurve,
+    LogisticRegressionModel,
+    make_cifar_like,
+    make_classification,
+    make_hardness_series,
+    make_learner,
+    make_mnist_like,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CLAMShell",
+    "CLAMShellConfig",
+    "Dataset",
+    "LearningCurve",
+    "LearningStrategy",
+    "LogisticRegressionModel",
+    "PayRates",
+    "RunResult",
+    "SimulatedCrowdPlatform",
+    "StragglerRoutingPolicy",
+    "WorkerPopulation",
+    "WorkerProfile",
+    "__version__",
+    "baseline_no_retainer",
+    "baseline_retainer",
+    "crowd_labeling_objective",
+    "default_simulation_population",
+    "full_clamshell",
+    "generate_medical_trace",
+    "make_cifar_like",
+    "make_classification",
+    "make_hardness_series",
+    "make_learner",
+    "make_mnist_like",
+    "speedup_factor",
+    "summarize_trace",
+    "variance_reduction_factor",
+]

@@ -1,0 +1,31 @@
+"""Latency profiling and statistics used by the experiment drivers."""
+
+from .latency_profile import (
+    EmpiricalCDF,
+    LatencySource,
+    LatencyTaxonomy,
+    empirical_cdf,
+    profile_trace,
+    worker_latency_cdfs,
+)
+from .stats import (
+    OneSidedTestResult,
+    bootstrap_mean_ci,
+    coefficient_of_variation,
+    one_sided_mean_test,
+    percentile_summary,
+)
+
+__all__ = [
+    "EmpiricalCDF",
+    "LatencySource",
+    "LatencyTaxonomy",
+    "OneSidedTestResult",
+    "bootstrap_mean_ci",
+    "coefficient_of_variation",
+    "empirical_cdf",
+    "one_sided_mean_test",
+    "percentile_summary",
+    "profile_trace",
+    "worker_latency_cdfs",
+]

@@ -1,0 +1,148 @@
+"""Latency taxonomy profiling (Table 1) and distribution analysis (Figure 2).
+
+Table 1 classifies the sources of labeling latency into per-task, per-batch,
+and full-run sources.  :func:`profile_trace` decomposes a crowd trace into
+those components; :func:`worker_latency_cdfs` produces the per-worker
+mean/std CDFs of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..crowd.traces import CrowdTrace
+
+
+@dataclass(frozen=True)
+class LatencySource:
+    """One row of the Table-1 taxonomy, with its measured statistics."""
+
+    granularity: str
+    source: str
+    addressed_by: str
+    median: Optional[float] = None
+    std: Optional[float] = None
+    p90: Optional[float] = None
+
+
+@dataclass
+class LatencyTaxonomy:
+    """The full taxonomy with measured values for one trace."""
+
+    sources: list[LatencySource] = field(default_factory=list)
+
+    def rows(self) -> list[tuple[str, str, str]]:
+        """The structural (granularity, source, addressed-by) rows of Table 1."""
+        return [(s.granularity, s.source, s.addressed_by) for s in self.sources]
+
+    def by_granularity(self, granularity: str) -> list[LatencySource]:
+        return [s for s in self.sources if s.granularity == granularity]
+
+
+def profile_trace(trace: CrowdTrace) -> LatencyTaxonomy:
+    """Measure each latency source of Table 1 on a trace.
+
+    Sources that are properties of the run configuration rather than the
+    trace (decision time, task count, batch size, pool size) are listed
+    without measurements.
+    """
+    latencies = trace.latencies()
+    if latencies.size == 0:
+        raise ValueError("cannot profile an empty trace")
+    worker_means = trace.worker_mean_latencies()
+    worker_stds = trace.worker_std_latencies()
+    recruitment = np.array(trace.recruitment_latencies, dtype=float)
+
+    def stats(values: np.ndarray) -> tuple[float, float, float]:
+        return (
+            float(np.median(values)),
+            float(values.std(ddof=1)) if values.size > 1 else 0.0,
+            float(np.percentile(values, 90)),
+        )
+
+    sources = []
+    if recruitment.size:
+        median, std, p90 = stats(recruitment)
+        sources.append(
+            LatencySource(
+                "task", "recruitment", "retainer pool (prior work)", median, std, p90
+            )
+        )
+    else:
+        sources.append(LatencySource("task", "recruitment", "retainer pool (prior work)"))
+    sources.append(
+        LatencySource("task", "qualification & training", "recruit-time training")
+    )
+    median, std, p90 = stats(latencies)
+    sources.append(
+        LatencySource("task", "work", "task interface design (prior work)", median, std, p90)
+    )
+
+    # Batch-granularity sources.
+    straggler_ratio = float(np.percentile(latencies, 99) / np.median(latencies))
+    sources.append(
+        LatencySource(
+            "batch",
+            "stragglers",
+            "straggler mitigation",
+            median=straggler_ratio,
+        )
+    )
+    median, std, p90 = stats(worker_means)
+    sources.append(
+        LatencySource("batch", "mean pool latency", "pool maintenance", median, std, p90)
+    )
+    if worker_stds.size:
+        median, std, p90 = stats(worker_stds)
+    else:
+        median = std = p90 = 0.0
+    sources.append(
+        LatencySource(
+            "batch", "pool & worker variance", "straggler mitigation", median, std, p90
+        )
+    )
+
+    # Full-run sources are configuration properties.
+    sources.append(LatencySource("full-run", "decision time", "asynchronous retraining"))
+    sources.append(LatencySource("full-run", "task count", "learning (prior work)"))
+    sources.append(LatencySource("full-run", "batch size", "hybrid learning"))
+    sources.append(LatencySource("full-run", "pool size", "operational constraint"))
+    return LatencyTaxonomy(sources=sources)
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """An empirical CDF: sorted values and cumulative probabilities."""
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    def quantile(self, probability: float) -> float:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        return float(np.quantile(self.values, probability))
+
+    def probability_at(self, value: float) -> float:
+        """Fraction of observations <= value."""
+        return float(np.searchsorted(self.values, value, side="right") / len(self.values))
+
+
+def empirical_cdf(values: Sequence[float]) -> EmpiricalCDF:
+    """Build an empirical CDF from raw observations."""
+    array = np.sort(np.asarray(values, dtype=float))
+    if array.size == 0:
+        raise ValueError("cannot build a CDF from no observations")
+    probabilities = np.arange(1, array.size + 1) / array.size
+    return EmpiricalCDF(values=array, probabilities=probabilities)
+
+
+def worker_latency_cdfs(trace: CrowdTrace) -> tuple[EmpiricalCDF, EmpiricalCDF]:
+    """Per-worker mean and std latency CDFs, the two curves of Figure 2."""
+    means = trace.worker_mean_latencies()
+    stds = trace.worker_std_latencies()
+    if means.size == 0 or stds.size == 0:
+        raise ValueError("trace has too few workers for CDFs")
+    return empirical_cdf(means), empirical_cdf(stds)

@@ -1,0 +1,102 @@
+"""Statistical helpers shared by maintenance and the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class OneSidedTestResult:
+    """Result of a one-sided mean-above-threshold test."""
+
+    statistic: float
+    p_value: float
+    significant: bool
+    sample_mean: float
+    threshold: float
+
+
+def one_sided_mean_test(
+    values: Sequence[float], threshold: float, significance: float = 0.05
+) -> OneSidedTestResult:
+    """Test whether the mean of ``values`` is significantly above ``threshold``.
+
+    This is the test pool maintenance uses to flag slow workers (§4.2).  With
+    fewer than two observations, or zero variance, the decision falls back to
+    comparing the sample mean against the threshold directly.
+    """
+    if not 0.0 < significance < 1.0:
+        raise ValueError("significance must be in (0, 1)")
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("values must not be empty")
+    sample_mean = float(array.mean())
+    if array.size < 2 or array.std(ddof=1) == 0:
+        exceeds = sample_mean > threshold
+        return OneSidedTestResult(
+            statistic=float("nan"),
+            p_value=0.0 if exceeds else 1.0,
+            significant=exceeds,
+            sample_mean=sample_mean,
+            threshold=threshold,
+        )
+    statistic, p_value = stats.ttest_1samp(array, popmean=threshold, alternative="greater")
+    return OneSidedTestResult(
+        statistic=float(statistic),
+        p_value=float(p_value),
+        significant=bool(p_value <= significance),
+        sample_mean=sample_mean,
+        threshold=threshold,
+    )
+
+
+def percentile_summary(
+    values: Sequence[float], percentiles: Sequence[float] = (50, 95, 99)
+) -> dict[float, float]:
+    """Map percentile -> value; the summary used in Figure 8."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("values must not be empty")
+    return {float(p): float(np.percentile(array, p)) for p in percentiles}
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation divided by mean; a scale-free variability measure."""
+    array = np.asarray(values, dtype=float)
+    if array.size < 2:
+        raise ValueError("need at least two values")
+    mean = array.mean()
+    if mean == 0:
+        raise ValueError("mean is zero; coefficient of variation undefined")
+    return float(array.std(ddof=1) / mean)
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Bootstrap confidence interval for the mean."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    array = np.asarray(values, dtype=float)
+    if array.size < 2:
+        raise ValueError("need at least two values")
+    rng = np.random.default_rng(seed)
+    resample_means = np.array(
+        [
+            array[rng.integers(0, array.size, size=array.size)].mean()
+            for _ in range(num_resamples)
+        ]
+    )
+    lower = (1.0 - confidence) / 2.0
+    upper = 1.0 - lower
+    return (
+        float(np.quantile(resample_means, lower)),
+        float(np.quantile(resample_means, upper)),
+    )

@@ -1,0 +1,204 @@
+"""Command-line interface for running the reproduction's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig11 --seed 1
+    python -m repro run e2e --num-records 500
+
+Each experiment name maps to one paper artifact (see DESIGN.md); ``run``
+executes the driver and prints the reproduced table.  This is a thin wrapper
+over :mod:`repro.experiments` for users who want the figures without writing
+Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Optional, Sequence
+
+from .experiments import (
+    build_technique_matrix,
+    format_table,
+    headline_numbers,
+    run_combined_experiment,
+    run_end_to_end_experiment,
+    run_generated_dataset_experiment,
+    run_pool_maintenance_experiment,
+    run_real_dataset_experiment,
+    run_straggler_experiment,
+    run_taxonomy_experiment,
+    run_termest_experiment,
+    run_threshold_sweep,
+)
+from .experiments.extensions import (
+    run_quality_maintenance_experiment,
+    run_reweighting_ablation,
+)
+
+
+def _print(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))
+
+
+def _run_taxonomy(seed: int, num_records: int) -> None:
+    result = run_taxonomy_experiment(num_tasks=max(num_records, 5000), seed=seed)
+    _print(
+        "Table 1 / S2.1 — deployment statistics (measured vs paper)",
+        ["statistic", "measured", "paper"],
+        result.headline_rows(),
+    )
+
+
+def _run_maintenance(seed: int, num_records: int) -> None:
+    result = run_pool_maintenance_experiment(num_tasks=max(40, num_records // 4), seed=seed)
+    _print(
+        "Figures 3/4 — pool maintenance",
+        ["complexity", "latency PM8", "latency PMinf", "speedup", "cost PM8", "cost PMinf", "ratio"],
+        result.summary_rows(),
+    )
+
+
+def _run_threshold(seed: int, num_records: int) -> None:
+    result = run_threshold_sweep(num_tasks=max(40, num_records // 5), seed=seed)
+    _print(
+        "Figures 7/8 — threshold sweep",
+        ["threshold", "replacements", "mean batch latency", "batch latency std"],
+        result.replacement_rows(),
+    )
+
+
+def _run_straggler(seed: int, num_records: int) -> None:
+    result = run_straggler_experiment(num_tasks=max(40, num_records // 5), seed=seed)
+    _print(
+        "Figures 9/10/11 — straggler mitigation",
+        ["R", "latency speedup", "stddev reduction", "cost increase"],
+        result.summary_rows(),
+    )
+
+
+def _run_combined(seed: int, num_records: int) -> None:
+    result = run_combined_experiment(num_tasks=max(40, num_records // 5), seed=seed)
+    _print(
+        "Figure 12 — combined techniques",
+        ["config", "total latency (s)", "batch std (s)", "cost ($)"],
+        result.summary_rows(),
+    )
+
+
+def _run_termest(seed: int, num_records: int) -> None:
+    result = run_termest_experiment(num_tasks=max(40, num_records // 5), seed=seed)
+    _print("Figure 14 — TermEst", ["configuration", "workers replaced"], result.summary_rows())
+
+
+def _run_hybrid_sim(seed: int, num_records: int) -> None:
+    result = run_generated_dataset_experiment(num_records=max(80, num_records // 2), seed=seed)
+    _print(
+        "Figure 15 — hybrid learning on generated datasets",
+        ["dataset", "r", "active", "passive", "hybrid", "best"],
+        result.summary_rows(),
+    )
+
+
+def _run_hybrid_real(seed: int, num_records: int) -> None:
+    result = run_real_dataset_experiment(num_records=max(100, num_records), seed=seed)
+    _print(
+        "Figure 16 — hybrid learning on MNIST/CIFAR stand-ins",
+        ["dataset", "r", "active", "passive", "hybrid", "best"],
+        result.summary_rows(),
+    )
+
+
+def _run_e2e(seed: int, num_records: int) -> None:
+    result = run_end_to_end_experiment(num_records=max(100, num_records), seed=seed)
+    for comparison in result.comparisons:
+        _print(
+            f"Figure 17 — time to accuracy on {comparison.dataset_name}",
+            ["threshold", "CLAMShell", "Base-R", "Base-NR"],
+            comparison.time_to_accuracy_rows(),
+        )
+        numbers = headline_numbers(comparison)
+        _print(
+            f"S6.6 headline numbers on {comparison.dataset_name}",
+            ["metric", "measured", "paper"],
+            numbers.rows(),
+        )
+
+
+def _run_table2(seed: int, num_records: int) -> None:
+    matrix = build_technique_matrix(seed=seed)
+    _print(
+        "Table 2 — technique impact matrix",
+        ["technique", "mean latency", "variance", "cost", "general"],
+        matrix.rows(),
+    )
+
+
+def _run_quality_pool(seed: int, num_records: int) -> None:
+    result = run_quality_maintenance_experiment(num_tasks=max(60, num_records // 3), seed=seed)
+    _print(
+        "Extension — quality-maintained pools",
+        ["pool", "label accuracy", "total latency (s)", "replacements"],
+        result.rows(),
+    )
+
+
+def _run_reweighting(seed: int, num_records: int) -> None:
+    result = run_reweighting_ablation(num_records=max(100, num_records // 2), seed=seed)
+    _print(
+        "Extension — hybrid re-weighting ablation",
+        ["active weight boost", "final accuracy"],
+        result.rows(),
+    )
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[int, int], None]]] = {
+    "taxonomy": ("Table 1 / Figure 2 — latency taxonomy and worker CDFs", _run_taxonomy),
+    "maintenance": ("Figures 3-6 — pool maintenance", _run_maintenance),
+    "threshold": ("Figures 7-8 — maintenance threshold sweep", _run_threshold),
+    "straggler": ("Figures 9-11 — straggler mitigation", _run_straggler),
+    "combined": ("Figure 12 — combining SM and PM", _run_combined),
+    "termest": ("Figure 14 — TermEst ablation", _run_termest),
+    "fig15": ("Figure 15 — hybrid learning (generated datasets)", _run_hybrid_sim),
+    "fig16": ("Figure 16 — hybrid learning (MNIST/CIFAR stand-ins)", _run_hybrid_real),
+    "e2e": ("Figures 17-18 + S6.6 — end-to-end comparison", _run_e2e),
+    "table2": ("Table 2 — technique impact matrix", _run_table2),
+    "quality-pool": ("Extension — quality-maintained pools", _run_quality_pool),
+    "reweighting": ("Extension — hybrid re-weighting ablation", _run_reweighting),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce CLAMShell (VLDB 2015) experiments on the simulated crowd.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment id")
+    run_parser.add_argument("--seed", type=int, default=0, help="random seed (default 0)")
+    run_parser.add_argument(
+        "--num-records",
+        type=int,
+        default=250,
+        help="approximate labeling budget; drivers scale their workloads from it",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (description, _) in sorted(EXPERIMENTS.items()):
+            print(f"{name:<14} {description}")
+        return 0
+    description, runner = EXPERIMENTS[args.experiment]
+    print(f"Running: {description} (seed={args.seed})")
+    runner(args.seed, args.num_records)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,84 @@
+"""CLAMShell core: configuration, per-batch and full-run optimisations."""
+
+from .batcher import Batcher, RunResult, SequentialSelector
+from .clamshell import CLAMShell, PoolSizeGuidance
+from .config import (
+    CLAMShellConfig,
+    LearningStrategy,
+    PayRates,
+    StragglerRoutingPolicy,
+    baseline_no_retainer,
+    baseline_retainer,
+    full_clamshell,
+)
+from .lifeguard import AssignmentRecord, BatchOutcome, LifeGuard
+from .maintainer import (
+    MaintenancePolicy,
+    PoolMaintainer,
+    ReplacementEvent,
+    predicted_latency_series,
+    predicted_pool_latency,
+    threshold_from_population,
+)
+from .metrics import (
+    BatchMetrics,
+    CostModel,
+    ObjectiveValue,
+    RunMetrics,
+    crowd_labeling_objective,
+    speedup_factor,
+    variance_reduction_factor,
+)
+from .mitigator import StragglerMitigator
+from .quality import (
+    QualityEstimate,
+    VoteAggregator,
+    WorkerQualityEstimator,
+    inter_worker_agreement,
+    majority_vote,
+    votes_needed,
+    weighted_vote,
+)
+from .termest import NaiveLatencyEstimator, TermEst, TermEstimate
+
+__all__ = [
+    "AssignmentRecord",
+    "BatchMetrics",
+    "BatchOutcome",
+    "Batcher",
+    "CLAMShell",
+    "CLAMShellConfig",
+    "CostModel",
+    "LearningStrategy",
+    "LifeGuard",
+    "MaintenancePolicy",
+    "NaiveLatencyEstimator",
+    "ObjectiveValue",
+    "PayRates",
+    "PoolMaintainer",
+    "PoolSizeGuidance",
+    "QualityEstimate",
+    "ReplacementEvent",
+    "RunMetrics",
+    "RunResult",
+    "SequentialSelector",
+    "StragglerMitigator",
+    "StragglerRoutingPolicy",
+    "TermEst",
+    "TermEstimate",
+    "VoteAggregator",
+    "WorkerQualityEstimator",
+    "baseline_no_retainer",
+    "baseline_retainer",
+    "crowd_labeling_objective",
+    "full_clamshell",
+    "inter_worker_agreement",
+    "majority_vote",
+    "predicted_latency_series",
+    "predicted_pool_latency",
+    "speedup_factor",
+    "threshold_from_population",
+    "variance_reduction_factor",
+    "votes_needed",
+    "weighted_vote",
+]

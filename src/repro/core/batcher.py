@@ -1,0 +1,318 @@
+"""The Batcher: full-run orchestration across batches.
+
+The Batcher owns the outer loop of Figure 1: pick the next batch of records
+(via the configured learning strategy or plain sequential selection), build
+tasks, hand the batch to LifeGuard, fold the returned labels into the label
+cache and the learner, retrain (pipelined, if asynchronous retraining is on),
+and record metrics and the learning curve.  It stops when the requested
+number of records has been labeled, when an accuracy target is hit, or when
+the training pool runs out of unlabeled records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..crowd.platform import SimulatedCrowdPlatform
+from ..crowd.tasks import Batch, TaskFactory
+from ..learning.datasets import Dataset
+from ..learning.learners import BaseLearner, BatchProposal, make_learner
+from ..learning.evaluation import LearningCurve
+from ..learning.retrainer import AsynchronousRetrainer, DecisionLatencyModel
+from .config import CLAMShellConfig, LearningStrategy
+from .lifeguard import AssignmentRecord, BatchOutcome, LifeGuard
+from .maintainer import MaintenancePolicy, PoolMaintainer
+from .metrics import BatchMetrics, CostModel, RunMetrics
+from .mitigator import StragglerMitigator
+
+
+@dataclass
+class RunResult:
+    """Everything a labeling run produced."""
+
+    config: CLAMShellConfig
+    metrics: RunMetrics
+    learning_curve: Optional[LearningCurve]
+    labels: dict[int, int] = field(default_factory=dict)
+    batch_outcomes: list[BatchOutcome] = field(default_factory=list)
+    replacements: list = field(default_factory=list)
+    total_cost: float = 0.0
+    final_accuracy: Optional[float] = None
+
+    @property
+    def total_latency(self) -> float:
+        return self.metrics.total_wall_clock
+
+    def assignment_records(self) -> list[AssignmentRecord]:
+        records: list[AssignmentRecord] = []
+        for outcome in self.batch_outcomes:
+            records.extend(outcome.assignment_records)
+        return records
+
+
+class SequentialSelector:
+    """Record selection when no learning is configured (Alg = NL).
+
+    Hands out unlabeled training records in a shuffled but fixed order, the
+    behaviour of a plain "label these 500 points" deployment.
+    """
+
+    def __init__(self, dataset: Dataset, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self._order: list[int] = [
+            int(i) for i in rng.permutation(dataset.train_record_ids())
+        ]
+        self._cursor = 0
+
+    def next_records(self, count: int) -> list[int]:
+        chosen = self._order[self._cursor : self._cursor + count]
+        self._cursor += len(chosen)
+        return chosen
+
+    def has_remaining(self) -> bool:
+        return self._cursor < len(self._order)
+
+
+class Batcher:
+    """Drives a full labeling run against a platform and (optionally) a learner."""
+
+    def __init__(
+        self,
+        config: CLAMShellConfig,
+        dataset: Dataset,
+        platform: SimulatedCrowdPlatform,
+        learner: Optional[BaseLearner] = None,
+        decision_latency: Optional[DecisionLatencyModel] = None,
+    ) -> None:
+        self.config = config
+        self.dataset = dataset
+        self.platform = platform
+        self.cost_model = CostModel(rates=config.pay_rates)
+
+        self._task_factory = TaskFactory(
+            records_per_task=config.records_per_task,
+            votes_required=config.votes_required,
+        )
+        mitigator = StragglerMitigator(
+            enabled=config.straggler_mitigation,
+            policy=config.straggler_routing,
+            decouple_quality_control=config.decouple_quality_control,
+            seed=config.seed + 101,
+        )
+        maintainer = None
+        if config.maintenance_enabled:
+            assert config.maintenance_threshold is not None
+            maintainer = PoolMaintainer(
+                MaintenancePolicy(
+                    threshold=config.maintenance_threshold,
+                    significance=config.maintenance_significance,
+                    min_observations=config.maintenance_min_observations,
+                    use_termest=config.use_termest,
+                    termest_alpha=config.termest_alpha,
+                ),
+                records_per_task=config.records_per_task,
+            )
+        self.maintainer = maintainer
+        self.lifeguard = LifeGuard(
+            platform,
+            mitigator,
+            maintainer,
+            pool_target_size=config.pool_size,
+        )
+
+        if config.learning_strategy == LearningStrategy.NONE:
+            self.learner: Optional[BaseLearner] = None
+            self.retrainer: Optional[AsynchronousRetrainer] = None
+            self._selector: Optional[SequentialSelector] = SequentialSelector(
+                dataset, seed=config.seed
+            )
+        else:
+            self.learner = learner or make_learner(
+                config.learning_strategy.value,
+                dataset,
+                seed=config.seed,
+            )
+            self.retrainer = AsynchronousRetrainer(
+                self.learner,
+                latency_model=decision_latency or DecisionLatencyModel(),
+                asynchronous=config.asynchronous_retraining,
+                candidate_sample_size=config.candidate_sample_size,
+            )
+            self._selector = None
+
+    # -- batch sizing -------------------------------------------------------------
+
+    def _records_per_batch(self) -> int:
+        """How many records one batch should contain.
+
+        For non-learning and passive runs, a batch is ``batch_size`` tasks of
+        ``Ng`` records (driven by the pool-to-batch ratio R).  For active
+        learning the batch is limited to ``k`` records; hybrid fills the pool.
+        """
+        config = self.config
+        if config.learning_strategy == LearningStrategy.ACTIVE:
+            return config.active_batch_size
+        return config.batch_size * config.records_per_task
+
+    def _propose_records(self, now: float, previous_batch_seconds: float) -> tuple[
+        list[int], Optional[BatchProposal], float
+    ]:
+        """Pick the record ids for the next batch.
+
+        Returns ``(record_ids, proposal, decision_seconds)``.
+        """
+        config = self.config
+        if self.learner is None:
+            assert self._selector is not None
+            return self._selector.next_records(self._records_per_batch()), None, 0.0
+
+        assert self.retrainer is not None
+        if config.learning_strategy == LearningStrategy.ACTIVE:
+            batch_size = config.active_batch_size
+            pool_records = batch_size
+        elif config.learning_strategy == LearningStrategy.PASSIVE:
+            batch_size = 0
+            pool_records = config.batch_size * config.records_per_task
+        else:  # HYBRID
+            batch_size = config.active_batch_size
+            pool_records = max(
+                config.batch_size * config.records_per_task, batch_size
+            )
+        proposal, decision_seconds = self.retrainer.next_batch(
+            now=now,
+            batch_size=batch_size,
+            pool_size=pool_records,
+            batch_duration=previous_batch_seconds,
+        )
+        return proposal.all_ids, proposal, decision_seconds
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(
+        self,
+        num_records: int = 500,
+        accuracy_target: Optional[float] = None,
+        max_batches: int = 1000,
+        record_curve: bool = True,
+    ) -> RunResult:
+        """Label up to ``num_records`` records (stopping early at the accuracy target)."""
+        if num_records < 1:
+            raise ValueError("num_records must be >= 1")
+        if max_batches < 1:
+            raise ValueError("max_batches must be >= 1")
+
+        config = self.config
+        if len(self.platform.pool) == 0:
+            self.platform.initialize_pool(config.pool_size)
+        if self.maintainer is not None:
+            self.platform.configure_reserve(config.maintenance_reserve_size)
+
+        metrics = RunMetrics()
+        curve: Optional[LearningCurve] = None
+        if self.learner is not None and record_curve:
+            curve = LearningCurve(
+                strategy=self.learner.strategy_name, dataset=self.dataset.name
+            )
+            curve.record(0, 0.0, self.learner.test_accuracy(), batch_index=-1)
+
+        all_labels: dict[int, int] = {}
+        outcomes: list[BatchOutcome] = []
+        records_labeled = 0
+        previous_batch_seconds = 0.0
+        start_time = self.platform.now
+
+        for batch_index in range(max_batches):
+            if records_labeled >= num_records:
+                break
+            record_ids, proposal, decision_seconds = self._propose_records(
+                self.platform.now, previous_batch_seconds
+            )
+            if not record_ids:
+                break
+            remaining = num_records - records_labeled
+            if len(record_ids) > remaining:
+                record_ids = record_ids[:remaining]
+            if decision_seconds > 0:
+                self.platform.queue.advance_to(self.platform.now + decision_seconds)
+            if not config.use_retainer_pool:
+                # Without a retainer pool, each batch waits on the open
+                # marketplace until workers accept the newly-posted tasks.
+                recruitment_wait = self.platform.recruiter.draw_recruitment_latency()
+                self.platform.queue.advance_to(self.platform.now + recruitment_wait)
+
+            true_labels = self.dataset.labels_for(record_ids)
+            tasks = self._task_factory.build_tasks(record_ids, true_labels)
+            batch = Batch(batch_id=batch_index, tasks=tasks)
+            outcome = self.lifeguard.run_batch(batch, batch_index=batch_index)
+            outcomes.append(outcome)
+            previous_batch_seconds = outcome.batch_latency
+
+            all_labels.update(outcome.labels)
+            records_labeled += len(outcome.labels)
+            if self.learner is not None:
+                self.learner.incorporate_labels(outcome.labels, proposal)
+
+            batch_metrics = BatchMetrics(
+                batch_index=batch_index,
+                dispatched_at=outcome.dispatched_at,
+                completed_at=outcome.completed_at,
+                num_tasks=len(batch),
+                num_records=batch.num_records,
+                task_latencies=outcome.task_latencies,
+                mean_pool_latency=outcome.mean_pool_latency,
+                workers_replaced=outcome.workers_replaced,
+                assignments_started=outcome.assignments_started,
+                assignments_terminated=outcome.assignments_terminated,
+                decision_seconds=decision_seconds,
+            )
+            metrics.add_batch(batch_metrics)
+            for completion_time, record_count in outcome.completion_times:
+                previous_total = (
+                    metrics.labels_per_second_curve[-1][1]
+                    if metrics.labels_per_second_curve
+                    else 0
+                )
+                metrics.labels_per_second_curve.append(
+                    (completion_time - start_time, previous_total + record_count)
+                )
+
+            if curve is not None and self.learner is not None:
+                self.learner.retrain()
+                accuracy = self.learner.test_accuracy()
+                curve.record(
+                    self.learner.num_labeled,
+                    self.platform.now - start_time,
+                    accuracy,
+                    batch_index=batch_index,
+                )
+                if accuracy_target is not None and accuracy >= accuracy_target:
+                    break
+
+            if self.learner is not None and not self.learner.has_unlabeled():
+                break
+            if self.learner is None and self._selector is not None:
+                if not self._selector.has_remaining():
+                    break
+
+        self.platform.settle()
+        metrics.total_wall_clock = self.platform.now - start_time
+        metrics.records_labeled = records_labeled
+        metrics.total_cost = self.cost_model.total_cost(self.platform)
+
+        final_accuracy = None
+        if self.learner is not None:
+            final_accuracy = self.learner.test_accuracy()
+
+        return RunResult(
+            config=config,
+            metrics=metrics,
+            learning_curve=curve,
+            labels=all_labels,
+            batch_outcomes=outcomes,
+            replacements=list(self.maintainer.replacements) if self.maintainer else [],
+            total_cost=metrics.total_cost,
+            final_accuracy=final_accuracy,
+        )

@@ -1,0 +1,154 @@
+"""The CLAMShell facade: one object that wires the whole system together.
+
+Typical use::
+
+    from repro import CLAMShell, full_clamshell, make_mnist_like
+    from repro.crowd import default_simulation_population
+
+    dataset = make_mnist_like(seed=1)
+    system = CLAMShell(
+        config=full_clamshell(pool_size=15),
+        dataset=dataset,
+        population=default_simulation_population(seed=1),
+    )
+    result = system.run(num_records=500)
+    print(result.final_accuracy, result.metrics.total_wall_clock)
+
+The facade builds the simulated crowd platform, the learner matching the
+configured strategy, and the Batcher, and exposes ``run`` plus a handful of
+conveniences for inspecting the outcome.  Each call to ``run`` uses a fresh
+platform so repeated runs are independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..crowd.platform import SimulatedCrowdPlatform
+from ..crowd.traces import default_simulation_population
+from ..crowd.worker import WorkerPopulation
+from ..learning.datasets import Dataset
+from ..learning.learners import BaseLearner, make_learner
+from ..learning.retrainer import DecisionLatencyModel
+from .batcher import Batcher, RunResult
+from .config import CLAMShellConfig, LearningStrategy, full_clamshell
+
+
+@dataclass
+class PoolSizeGuidance:
+    """Rough latency/cost guidance for a candidate pool size (§2.2, item 1).
+
+    CLAMShell "provides guidance about how the cost and latency will be
+    affected by changing p": with ``p`` workers of mean latency ``mu`` and a
+    batch of ``B`` tasks, a batch takes about ``ceil(B / p) * mu`` seconds,
+    waiting cost accrues at ``p * waiting_rate`` and labeling cost is fixed
+    per record.
+    """
+
+    pool_size: int
+    expected_batch_seconds: float
+    expected_cost_per_batch: float
+
+
+class CLAMShell:
+    """End-to-end low-latency crowd labeling system."""
+
+    def __init__(
+        self,
+        config: Optional[CLAMShellConfig] = None,
+        dataset: Optional[Dataset] = None,
+        population: Optional[WorkerPopulation] = None,
+        learner: Optional[BaseLearner] = None,
+        decision_latency: Optional[DecisionLatencyModel] = None,
+    ) -> None:
+        self.config = config or full_clamshell()
+        self.dataset = dataset
+        self.population = population or default_simulation_population(
+            seed=self.config.seed
+        )
+        self._learner_override = learner
+        self._decision_latency = decision_latency
+        self.last_platform: Optional[SimulatedCrowdPlatform] = None
+        self.last_batcher: Optional[Batcher] = None
+
+    # -- running -----------------------------------------------------------------
+
+    def build_platform(self) -> SimulatedCrowdPlatform:
+        """A fresh simulated crowd platform for one run."""
+        num_classes = self.dataset.num_classes if self.dataset is not None else 2
+        return SimulatedCrowdPlatform(
+            population=self.population,
+            seed=self.config.seed,
+            num_classes=num_classes,
+            abandonment_rate=self.config.abandonment_rate,
+        )
+
+    def build_batcher(self) -> Batcher:
+        """A fresh Batcher (and platform) wired from the configuration."""
+        if self.dataset is None:
+            raise ValueError("a dataset is required to run CLAMShell")
+        platform = self.build_platform()
+        learner = self._learner_override
+        if learner is None and self.config.learning_strategy != LearningStrategy.NONE:
+            learner = make_learner(
+                self.config.learning_strategy.value,
+                self.dataset,
+                seed=self.config.seed,
+                candidate_sample_size=self.config.candidate_sample_size,
+            ) if self.config.learning_strategy != LearningStrategy.PASSIVE else make_learner(
+                "passive", self.dataset, seed=self.config.seed
+            )
+        batcher = Batcher(
+            config=self.config,
+            dataset=self.dataset,
+            platform=platform,
+            learner=learner,
+            decision_latency=self._decision_latency,
+        )
+        self.last_platform = platform
+        self.last_batcher = batcher
+        return batcher
+
+    def run(
+        self,
+        num_records: int = 500,
+        accuracy_target: Optional[float] = None,
+        max_batches: int = 1000,
+    ) -> RunResult:
+        """Label ``num_records`` records (or stop at ``accuracy_target``)."""
+        batcher = self.build_batcher()
+        return batcher.run(
+            num_records=num_records,
+            accuracy_target=accuracy_target,
+            max_batches=max_batches,
+        )
+
+    # -- guidance ------------------------------------------------------------------
+
+    def pool_size_guidance(
+        self, candidate_sizes: tuple[int, ...] = (5, 10, 15, 25, 50)
+    ) -> list[PoolSizeGuidance]:
+        """Expected per-batch latency and cost for a range of pool sizes."""
+        guidance = []
+        mean_latency = self.population.mean_latency() * self.config.records_per_task
+        per_record = self.config.pay_rates.per_record
+        waiting_per_second = self.config.pay_rates.waiting_per_minute / 60.0
+        for pool_size in candidate_sizes:
+            if pool_size < 1:
+                raise ValueError("pool sizes must be >= 1")
+            batch_tasks = max(1, int(round(pool_size / self.config.pool_batch_ratio)))
+            waves = -(-batch_tasks // pool_size)  # ceil division
+            batch_seconds = waves * mean_latency
+            cost = (
+                batch_tasks * self.config.records_per_task * per_record
+                + pool_size * batch_seconds * waiting_per_second
+            )
+            guidance.append(
+                PoolSizeGuidance(
+                    pool_size=pool_size,
+                    expected_batch_seconds=batch_seconds,
+                    expected_cost_per_batch=cost,
+                )
+            )
+        return guidance

@@ -1,0 +1,269 @@
+"""LifeGuard: the per-batch scheduler and mitigation loop.
+
+The Batcher hands LifeGuard a batch of tasks; LifeGuard schedules them onto
+retainer-pool slots, reacts to assignment completions, applies straggler
+mitigation when workers run out of unassigned work, invokes pool maintenance
+asynchronously as labeling proceeds, and returns once every task in the batch
+is complete (Figure 1, §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..crowd.events import EventKind
+from ..crowd.platform import SimulatedCrowdPlatform
+from ..crowd.tasks import Batch, Task
+from .maintainer import PoolMaintainer
+from .mitigator import StragglerMitigator
+from .quality import majority_vote
+
+
+@dataclass(frozen=True)
+class AssignmentRecord:
+    """Flattened view of one assignment, for the Figure-13 timeline."""
+
+    batch_index: int
+    task_id: int
+    worker_id: int
+    started_at: float
+    ended_at: float
+    completed: bool
+
+
+@dataclass
+class BatchOutcome:
+    """Everything LifeGuard learned from running one batch."""
+
+    batch: Batch
+    batch_index: int
+    dispatched_at: float
+    completed_at: float
+    #: Consensus label per record id (majority vote when redundancy is on,
+    #: otherwise the first answer).
+    labels: dict[int, int] = field(default_factory=dict)
+    #: Per-task completion latencies, measured from batch dispatch.
+    task_latencies: list[float] = field(default_factory=list)
+    #: (completion time, records in the task) in completion order, for
+    #: labels-over-time curves.
+    completion_times: list[tuple[float, int]] = field(default_factory=list)
+    assignment_records: list[AssignmentRecord] = field(default_factory=list)
+    assignments_started: int = 0
+    assignments_terminated: int = 0
+    workers_replaced: int = 0
+    #: Mean latency of assignments completed during this batch (the per-batch
+    #: MPL series of Figure 6).
+    mean_pool_latency: Optional[float] = None
+
+    @property
+    def batch_latency(self) -> float:
+        return self.completed_at - self.dispatched_at
+
+
+class LifeGuard:
+    """Runs batches of tasks against the crowd platform."""
+
+    def __init__(
+        self,
+        platform: SimulatedCrowdPlatform,
+        mitigator: StragglerMitigator,
+        maintainer: Optional[PoolMaintainer] = None,
+        maintain_during_batch: bool = True,
+        pool_target_size: Optional[int] = None,
+    ) -> None:
+        """Create a LifeGuard.
+
+        ``maintain_during_batch`` matches the paper's "asynchronously as
+        labeling proceeds" behaviour; when false, maintenance only runs
+        between batches.  ``pool_target_size`` is used to refill the pool
+        after abandonment.
+        """
+        self.platform = platform
+        self.mitigator = mitigator
+        self.maintainer = maintainer
+        self.maintain_during_batch = maintain_during_batch
+        self.pool_target_size = pool_target_size
+
+    # -- public API -----------------------------------------------------------
+
+    def run_batch(self, batch: Batch, batch_index: int = 0) -> BatchOutcome:
+        """Run ``batch`` to completion and return its outcome."""
+        platform = self.platform
+        start_terminated = platform.counters.assignments_terminated
+        start_started = platform.counters.assignments_started
+        start_replaced = platform.counters.workers_replaced
+
+        batch.dispatched_at = platform.now
+        outcome = BatchOutcome(
+            batch=batch,
+            batch_index=batch_index,
+            dispatched_at=platform.now,
+            completed_at=platform.now,
+        )
+        completed_durations: list[float] = []
+
+        self._dispatch_available_workers(batch)
+        guard = 0
+        max_events = 200_000
+        while not batch.is_complete:
+            guard += 1
+            if guard > max_events:
+                raise RuntimeError(
+                    "batch did not complete within the event budget; "
+                    "this indicates a scheduling deadlock"
+                )
+            if not platform.queue:
+                made_progress = self._recover_starvation(batch)
+                if not made_progress:
+                    raise RuntimeError(
+                        f"batch {batch_index} stalled: "
+                        f"{len(batch.incomplete_tasks)} tasks incomplete, no events "
+                        f"pending, and no worker can be assigned"
+                    )
+                continue
+            event = platform.queue.pop()
+            if event.kind != EventKind.ASSIGNMENT_FINISHED:
+                continue
+            assignment = event.payload
+            if not assignment.is_active:
+                continue
+            task = platform.task_for_assignment(assignment)
+            labels = platform.complete_assignment(assignment)
+            completed_durations.append(assignment.duration)
+            if not task.is_complete:
+                task.record_answer(assignment.worker_id, labels, platform.now)
+            if task.is_complete:
+                self._terminate_losing_assignments(task, assignment.duration)
+                outcome.completion_times.append((platform.now, task.num_records))
+            if self.maintainer is not None and self.maintain_during_batch:
+                events = self.maintainer.maintain(platform, batch_index=batch_index)
+                outcome.workers_replaced += len(events)
+            if self.pool_target_size is not None:
+                platform.refill_pool(self.pool_target_size)
+            self._dispatch_available_workers(batch)
+
+        batch.completed_at = platform.now
+        outcome.completed_at = platform.now
+
+        if self.maintainer is not None and not self.maintain_during_batch:
+            events = self.maintainer.maintain(platform, batch_index=batch_index)
+            outcome.workers_replaced += len(events)
+            if self.pool_target_size is not None:
+                platform.refill_pool(self.pool_target_size)
+
+        outcome.labels = self._consensus_labels(batch)
+        outcome.task_latencies = batch.task_latencies()
+        outcome.assignment_records = self._assignment_records(batch, batch_index)
+        outcome.assignments_started = (
+            platform.counters.assignments_started - start_started
+        )
+        outcome.assignments_terminated = (
+            platform.counters.assignments_terminated - start_terminated
+        )
+        outcome.workers_replaced = max(
+            outcome.workers_replaced,
+            platform.counters.workers_replaced - start_replaced,
+        )
+        if completed_durations:
+            outcome.mean_pool_latency = float(
+                sum(completed_durations) / len(completed_durations)
+            )
+        return outcome
+
+    # -- internals ---------------------------------------------------------------
+
+    def _dispatch_available_workers(self, batch: Batch) -> None:
+        """Give every available worker a task, per the mitigation policy."""
+        while True:
+            available = self.platform.pool.available_workers()
+            if not available:
+                return
+            assigned_any = False
+            for slot in available:
+                task = self.mitigator.pick_task(
+                    batch, slot.worker_id, self.platform.pool, self.platform.now
+                )
+                if task is None:
+                    continue
+                self.platform.start_assignment(task, slot.worker_id)
+                assigned_any = True
+            if not assigned_any:
+                return
+
+    def _terminate_losing_assignments(self, task: Task, winner_duration: float) -> None:
+        """Cancel the remaining active replicas of a just-completed task."""
+        for other in list(task.active_assignments):
+            self.platform.terminate_assignment(
+                other, terminator_latency=winner_duration
+            )
+
+    def _recover_starvation(self, batch: Batch) -> bool:
+        """Try to un-stall a batch with no pending events.
+
+        This happens when the pool shrank (abandonment, eviction without a
+        ready replacement) and the remaining incomplete tasks cannot be given
+        to any current worker.  Refill the pool and retry dispatch; if no
+        replacement is ready yet but recruits are in flight, wait (advance
+        the clock) until the earliest one arrives.  Returns whether any
+        assignment was started.
+        """
+        platform = self.platform
+        if self.pool_target_size is not None:
+            platform.refill_pool(self.pool_target_size)
+        before = platform.counters.assignments_started
+        self._dispatch_available_workers(batch)
+        if platform.counters.assignments_started > before:
+            return True
+
+        # Nothing could be dispatched with the current pool: wait for the
+        # background reserve if it has recruits on the way.
+        next_ready = platform.reserve.next_ready_time()
+        if next_ready is None:
+            return False
+        platform.queue.advance_to(max(platform.now, next_ready))
+        if self.pool_target_size is not None:
+            platform.refill_pool(self.pool_target_size)
+        else:
+            platform.refill_pool(len(platform.pool) + 1)
+        self._dispatch_available_workers(batch)
+        return platform.counters.assignments_started > before
+
+    def _consensus_labels(self, batch: Batch) -> dict[int, int]:
+        """Record id -> consensus label for every completed task in the batch."""
+        labels: dict[int, int] = {}
+        for task in batch.tasks:
+            if not task.answers:
+                continue
+            per_record_answers: list[list[int]] = [[] for _ in task.record_ids]
+            for _, answer_labels, _ in task.answers:
+                for position, label in enumerate(answer_labels):
+                    per_record_answers[position].append(label)
+            for record_id, answers in zip(task.record_ids, per_record_answers):
+                labels[record_id] = majority_vote(answers, tie_break="first")
+        return labels
+
+    def _assignment_records(
+        self, batch: Batch, batch_index: int
+    ) -> list[AssignmentRecord]:
+        records = []
+        for task in batch.tasks:
+            for assignment in task.assignments:
+                ended = (
+                    assignment.completed_at
+                    if assignment.completed_at is not None
+                    else assignment.terminated_at
+                )
+                if ended is None:
+                    continue
+                records.append(
+                    AssignmentRecord(
+                        batch_index=batch_index,
+                        task_id=task.task_id,
+                        worker_id=assignment.worker_id,
+                        started_at=assignment.started_at,
+                        ended_at=ended,
+                        completed=assignment.completed_at is not None,
+                    )
+                )
+        return records

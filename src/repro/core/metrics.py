@@ -1,0 +1,195 @@
+"""Latency, variance, and cost accounting.
+
+The Crowd Labeling Problem (Problem 1 in §2.2) scores a run by a weighted
+combination of its latency ``l`` and cost ``c`` with a user preference
+``beta``.  The paper prints the metric as ``1/(beta*l + (1-beta)*c)``; the
+quantity actually being driven down is the weighted sum
+``beta*l + (1-beta)*c``, so :class:`ObjectiveValue` exposes both forms and
+experiments can report either.
+
+Costs follow the live-deployment pay rates: workers are paid per minute while
+waiting in the retainer pool and per record once work arrives, and they are
+paid for terminated (pre-empted) assignments too (§4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..crowd.platform import SimulatedCrowdPlatform
+from .config import PayRates
+
+
+@dataclass
+class CostModel:
+    """Translates platform counters into dollars."""
+
+    rates: PayRates = field(default_factory=PayRates)
+
+    def waiting_cost(self, waiting_seconds: float) -> float:
+        return self.rates.waiting_per_minute * waiting_seconds / 60.0
+
+    def labeling_cost(self, records_paid: int) -> float:
+        return self.rates.per_record * records_paid
+
+    def recruitment_cost(self, recruitment_seconds: float) -> float:
+        """Cost of keeping background recruits on retainer until they are seated."""
+        return self.rates.waiting_per_minute * recruitment_seconds / 60.0
+
+    def total_cost(self, platform: SimulatedCrowdPlatform) -> float:
+        """Total dollars spent on a run, from the platform's raw counters."""
+        waiting = platform.pool.total_waiting_seconds()
+        return (
+            self.waiting_cost(waiting)
+            + self.labeling_cost(platform.counters.records_labeled_paid)
+            + self.recruitment_cost(platform.reserve.total_recruitment_seconds)
+        )
+
+
+@dataclass
+class BatchMetrics:
+    """Measurements of one completed batch."""
+
+    batch_index: int
+    dispatched_at: float
+    completed_at: float
+    num_tasks: int
+    num_records: int
+    task_latencies: list[float] = field(default_factory=list)
+    mean_pool_latency: Optional[float] = None
+    workers_replaced: int = 0
+    assignments_started: int = 0
+    assignments_terminated: int = 0
+    decision_seconds: float = 0.0
+
+    @property
+    def batch_latency(self) -> float:
+        return self.completed_at - self.dispatched_at
+
+    @property
+    def task_latency_std(self) -> float:
+        if len(self.task_latencies) < 2:
+            return 0.0
+        return float(np.std(self.task_latencies, ddof=1))
+
+    @property
+    def task_latency_mean(self) -> float:
+        if not self.task_latencies:
+            return 0.0
+        return float(np.mean(self.task_latencies))
+
+
+@dataclass
+class RunMetrics:
+    """Measurements of a whole labeling run (many batches)."""
+
+    batches: list[BatchMetrics] = field(default_factory=list)
+    total_cost: float = 0.0
+    total_wall_clock: float = 0.0
+    records_labeled: int = 0
+    labels_per_second_curve: list[tuple[float, int]] = field(default_factory=list)
+
+    def add_batch(self, batch: BatchMetrics) -> None:
+        self.batches.append(batch)
+
+    @property
+    def num_batches(self) -> int:
+        return len(self.batches)
+
+    def batch_latencies(self) -> np.ndarray:
+        return np.array([b.batch_latency for b in self.batches], dtype=float)
+
+    def task_latencies(self) -> np.ndarray:
+        latencies: list[float] = []
+        for batch in self.batches:
+            latencies.extend(batch.task_latencies)
+        return np.array(latencies, dtype=float)
+
+    def per_batch_stddevs(self) -> np.ndarray:
+        return np.array([b.task_latency_std for b in self.batches], dtype=float)
+
+    def mean_batch_latency(self) -> float:
+        latencies = self.batch_latencies()
+        return float(latencies.mean()) if latencies.size else 0.0
+
+    def batch_latency_std(self) -> float:
+        latencies = self.batch_latencies()
+        return float(latencies.std(ddof=1)) if latencies.size > 1 else 0.0
+
+    def mean_pool_latency_curve(self) -> list[tuple[int, Optional[float]]]:
+        """(batch index, MPL) series, the quantity plotted in Figure 6."""
+        return [(b.batch_index, b.mean_pool_latency) for b in self.batches]
+
+    def total_replacements(self) -> int:
+        return sum(b.workers_replaced for b in self.batches)
+
+    def labels_over_time(self) -> list[tuple[float, int]]:
+        """Cumulative (wall-clock seconds, records labeled) series (Figures 3, 10)."""
+        return list(self.labels_per_second_curve)
+
+    def throughput_labels_per_second(self) -> float:
+        if self.total_wall_clock <= 0:
+            return 0.0
+        return self.records_labeled / self.total_wall_clock
+
+
+@dataclass(frozen=True)
+class ObjectiveValue:
+    """The Problem-1 objective for a run at a given beta."""
+
+    latency_seconds: float
+    cost_dollars: float
+    beta: float
+
+    @property
+    def weighted_sum(self) -> float:
+        """``beta * l + (1 - beta) * c`` — lower is better."""
+        return self.beta * self.latency_seconds + (1.0 - self.beta) * self.cost_dollars
+
+    @property
+    def paper_metric(self) -> float:
+        """The reciprocal form as printed in Problem 1 (§2.2)."""
+        denominator = self.weighted_sum
+        if denominator <= 0:
+            return float("inf")
+        return 1.0 / denominator
+
+
+def crowd_labeling_objective(
+    latency_seconds: float, cost_dollars: float, beta: float
+) -> ObjectiveValue:
+    """Evaluate the Problem-1 objective for a (latency, cost) outcome."""
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError("beta must be in [0, 1]")
+    if latency_seconds < 0 or cost_dollars < 0:
+        raise ValueError("latency and cost must be non-negative")
+    return ObjectiveValue(latency_seconds, cost_dollars, beta)
+
+
+def variance_reduction_factor(
+    baseline_latencies: Sequence[float], optimized_latencies: Sequence[float]
+) -> float:
+    """Ratio of baseline to optimised latency standard deviation.
+
+    The headline §6.6 result reports a 151x reduction in the variability of
+    label acquisition; this helper computes the analogous ratio for any two
+    runs (values > 1 mean the optimised run is more predictable).
+    """
+    baseline = np.asarray(baseline_latencies, dtype=float)
+    optimized = np.asarray(optimized_latencies, dtype=float)
+    if baseline.size < 2 or optimized.size < 2:
+        raise ValueError("need at least two latencies per run")
+    optimized_std = optimized.std(ddof=1)
+    if optimized_std == 0:
+        return float("inf")
+    return float(baseline.std(ddof=1) / optimized_std)
+
+
+def speedup_factor(baseline_latency: float, optimized_latency: float) -> float:
+    """Ratio of baseline to optimised latency (values > 1 mean faster)."""
+    if baseline_latency < 0 or optimized_latency <= 0:
+        raise ValueError("latencies must be positive")
+    return baseline_latency / optimized_latency

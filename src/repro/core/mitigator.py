@@ -1,0 +1,163 @@
+"""Straggler mitigation: hide slow workers by replicating their tasks.
+
+By default, idle pool workers wait once every task in the batch is assigned;
+the batch then blocks on its slowest assignment, which in practice can be
+orders of magnitude slower than the median (§2.1).  Straggler mitigation
+(§4.1) instead immediately assigns idle workers to *active* tasks, creating
+duplicate assignments; the first completed assignment wins, the rest are
+terminated (and still paid).
+
+Routing — which active task an idle worker should duplicate — turns out not
+to matter (the paper's simulation finds random is as good as an oracle), but
+all four policies studied are implemented so the claim can be re-verified.
+
+Quality-control decoupling: when a task needs ``v`` votes, mitigation counts
+only the assignments beyond those still needed as "duplicates", and adds at
+most ``max_extra_assignments`` of them at a time, avoiding the naive 2x-votes
+blow-up described in §4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..crowd.pool import RetainerPool
+from ..crowd.tasks import Batch, Task
+from .config import StragglerRoutingPolicy
+from .quality import votes_needed
+
+
+@dataclass
+class StragglerMitigator:
+    """Chooses which task an idle worker should work on next.
+
+    Parameters
+    ----------
+    enabled:
+        When false, idle workers are only given unassigned tasks (the NoSM
+        baseline).
+    policy:
+        Routing policy for duplicates (Table: random / longest-running /
+        fewest-active / oracle-slowest).
+    decouple_quality_control:
+        Treat under-provisioned quality-controlled tasks (fewer active
+        assignments than votes still needed) as unassigned-like work before
+        creating true duplicates.
+    max_extra_assignments:
+        Cap on concurrent mitigation duplicates per task; ``None`` means
+        unlimited (the behaviour at high pool-to-batch ratios R).
+    """
+
+    enabled: bool = True
+    policy: StragglerRoutingPolicy = StragglerRoutingPolicy.RANDOM
+    decouple_quality_control: bool = True
+    max_extra_assignments: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_extra_assignments is not None and self.max_extra_assignments < 0:
+            raise ValueError("max_extra_assignments must be >= 0 or None")
+        self._rng = np.random.default_rng(self.seed)
+
+    # -- candidate filtering -----------------------------------------------------
+
+    def _worker_already_involved(self, task: Task, worker_id: int) -> bool:
+        """A worker should not hold two assignments (or re-answer) the same task."""
+        if any(a.worker_id == worker_id for a in task.assignments if a.is_active):
+            return True
+        return any(answered_by == worker_id for answered_by, _, _ in task.answers)
+
+    def _needs_more_votes(self, task: Task) -> bool:
+        """True when quality control still requires answers beyond active work."""
+        outstanding = votes_needed(task.votes_required, task.votes_received)
+        return len(task.active_assignments) < outstanding
+
+    def _duplicate_allowed(self, task: Task) -> bool:
+        outstanding = votes_needed(task.votes_required, task.votes_received)
+        extra = len(task.active_assignments) - outstanding
+        if self.max_extra_assignments is None:
+            return True
+        return extra < self.max_extra_assignments
+
+    # -- selection -----------------------------------------------------------------
+
+    def pick_task(
+        self,
+        batch: Batch,
+        worker_id: int,
+        pool: RetainerPool,
+        now: float,
+    ) -> Optional[Task]:
+        """Pick the next task for an idle worker, or ``None`` if they must wait.
+
+        Priority order:
+
+        1. an unassigned task;
+        2. a starved task — one that was assigned but whose assignments were
+           all terminated (e.g. its worker was evicted or abandoned the
+           pool), so nobody is working on it;
+        3. (if quality control is decoupled) an active task that still needs
+           more answers than it has active assignments;
+        4. (if mitigation is enabled) an active task chosen by the routing
+           policy, excluding tasks the worker is already involved in.
+        """
+        unassigned = [
+            t for t in batch.unassigned_tasks
+            if not self._worker_already_involved(t, worker_id)
+        ]
+        if unassigned:
+            return unassigned[0]
+
+        active = [
+            t for t in batch.active_tasks
+            if not self._worker_already_involved(t, worker_id)
+        ]
+        if not active:
+            return None
+
+        starved = [t for t in active if not t.active_assignments]
+        if starved:
+            return starved[0]
+
+        if self.decouple_quality_control:
+            under_provisioned = [t for t in active if self._needs_more_votes(t)]
+            if under_provisioned:
+                return self._route(under_provisioned, pool, now)
+
+        if not self.enabled:
+            return None
+        duplicable = [t for t in active if self._duplicate_allowed(t)]
+        if not duplicable:
+            return None
+        return self._route(duplicable, pool, now)
+
+    def _route(
+        self, candidates: Sequence[Task], pool: RetainerPool, now: float
+    ) -> Task:
+        """Apply the routing policy to a non-empty candidate list."""
+        if not candidates:
+            raise ValueError("candidates must not be empty")
+        policy = self.policy
+        if policy == StragglerRoutingPolicy.RANDOM:
+            return candidates[int(self._rng.integers(len(candidates)))]
+        if policy == StragglerRoutingPolicy.LONGEST_RUNNING:
+            return max(candidates, key=lambda t: self._longest_active_elapsed(t, now))
+        if policy == StragglerRoutingPolicy.FEWEST_ACTIVE:
+            return min(candidates, key=lambda t: len(t.active_assignments))
+        if policy == StragglerRoutingPolicy.ORACLE_SLOWEST:
+            return max(candidates, key=lambda t: self._oracle_remaining(t, now))
+        raise ValueError(f"unknown routing policy {policy}")
+
+    @staticmethod
+    def _longest_active_elapsed(task: Task, now: float) -> float:
+        elapsed = [now - a.started_at for a in task.active_assignments]
+        return max(elapsed) if elapsed else 0.0
+
+    @staticmethod
+    def _oracle_remaining(task: Task, now: float) -> float:
+        """Time until the task's earliest active assignment finishes (oracle view)."""
+        remaining = [a.finishes_at - now for a in task.active_assignments]
+        return min(remaining) if remaining else 0.0

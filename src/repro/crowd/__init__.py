@@ -1,0 +1,74 @@
+"""Crowd-platform substrate: simulated workers, retainer pools, and traces.
+
+This package stands in for Amazon Mechanical Turk (and for the authors'
+trace-driven simulator) in the CLAMShell reproduction.  See DESIGN.md for the
+substitution rationale.
+"""
+
+from .events import Event, EventKind, EventLoop, EventQueue, SimulationClock
+from .platform import PlatformCounters, SimulatedCrowdPlatform
+from .pool import RetainerPool, Slot, SlotState, pool_from_workers
+from .recruitment import BackgroundReserve, Recruiter, RecruitmentParameters
+from .tasks import (
+    Assignment,
+    AssignmentStatus,
+    Batch,
+    Task,
+    TaskFactory,
+    TaskState,
+    flatten_labels,
+    group_into_batches,
+)
+from .traces import (
+    CrowdTrace,
+    MedicalDeploymentParameters,
+    TraceRecord,
+    TraceStatistics,
+    default_simulation_population,
+    generate_medical_trace,
+    summarize_trace,
+)
+from .worker import (
+    PopulationParameters,
+    WorkerObservations,
+    WorkerPopulation,
+    WorkerProfile,
+    population_from_profiles,
+)
+
+__all__ = [
+    "Assignment",
+    "AssignmentStatus",
+    "BackgroundReserve",
+    "Batch",
+    "CrowdTrace",
+    "Event",
+    "EventKind",
+    "EventLoop",
+    "EventQueue",
+    "MedicalDeploymentParameters",
+    "PlatformCounters",
+    "PopulationParameters",
+    "Recruiter",
+    "RecruitmentParameters",
+    "RetainerPool",
+    "SimulatedCrowdPlatform",
+    "SimulationClock",
+    "Slot",
+    "SlotState",
+    "Task",
+    "TaskFactory",
+    "TaskState",
+    "TraceRecord",
+    "TraceStatistics",
+    "WorkerObservations",
+    "WorkerPopulation",
+    "WorkerProfile",
+    "default_simulation_population",
+    "flatten_labels",
+    "generate_medical_trace",
+    "group_into_batches",
+    "pool_from_workers",
+    "population_from_profiles",
+    "summarize_trace",
+]

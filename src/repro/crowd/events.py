@@ -1,0 +1,194 @@
+"""Discrete-event simulation engine used by the crowd substrate.
+
+The CLAMShell paper evaluates its techniques both in simulation and on live
+Mechanical Turk workers.  This module provides the event engine that the
+simulated crowd platform is built on: a priority queue of timestamped events
+and a simulation clock.  Events are processed in non-decreasing time order;
+ties are broken deterministically by a monotonically increasing sequence
+number so that runs are reproducible for a fixed random seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterator, Optional
+
+
+class EventKind(Enum):
+    """Kinds of events the crowd simulator schedules."""
+
+    ASSIGNMENT_FINISHED = "assignment_finished"
+    WORKER_RECRUITED = "worker_recruited"
+    WORKER_ABANDONED = "worker_abandoned"
+    BATCH_DISPATCHED = "batch_dispatched"
+    MAINTENANCE_TICK = "maintenance_tick"
+    MODEL_RETRAINED = "model_retrained"
+    CUSTOM = "custom"
+
+
+@dataclass(order=False)
+class Event:
+    """A single timestamped simulation event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time (seconds) at which the event fires.
+    kind:
+        The :class:`EventKind` of the event.
+    payload:
+        Arbitrary data attached by the scheduler (e.g. an assignment).
+    seq:
+        Tie-breaking sequence number assigned by the queue.
+    cancelled:
+        Lazily-cancelled events are skipped when popped.
+    """
+
+    time: float
+    kind: EventKind
+    payload: Any = None
+    seq: int = 0
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Mark the event so the queue will skip it when it is popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects.
+
+    Events with equal timestamps are returned in insertion order.  The queue
+    never moves time backwards: scheduling an event earlier than the current
+    clock raises ``ValueError``.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._now = float(start_time)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for _, _, event in self._heap if not event.cancelled)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event at absolute simulation ``time``.
+
+        Returns the :class:`Event`, which the caller may later ``cancel()``.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at t={time:.3f} before current time "
+                f"t={self._now:.3f}"
+            )
+        seq = next(self._counter)
+        event = Event(time=float(time), kind=kind, payload=payload, seq=seq)
+        heapq.heappush(self._heap, (event.time, seq, event))
+        return event
+
+    def schedule_in(self, delay: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event ``delay`` seconds after the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, kind, payload)
+
+    def peek(self) -> Optional[Event]:
+        """Return the next non-cancelled event without removing it."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0][2]
+
+    def pop(self) -> Event:
+        """Remove and return the next event, advancing the clock to it."""
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from an empty EventQueue")
+        _, _, event = heapq.heappop(self._heap)
+        self._now = event.time
+        return event
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock to ``time`` without processing events.
+
+        Used when an external driver (e.g. the batcher) wants to account for
+        think-time between batches.  Raises if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot advance clock backwards from {self._now:.3f} to {time:.3f}"
+            )
+        self._now = float(time)
+
+    def drain(self) -> Iterator[Event]:
+        """Yield events in order until the queue is empty."""
+        while self:
+            yield self.pop()
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+
+
+@dataclass
+class SimulationClock:
+    """A lightweight shared clock for components that only read time.
+
+    The :class:`EventQueue` owns the authoritative clock during event-driven
+    phases; components that merely need to timestamp observations (metrics,
+    maintenance logs) hold a ``SimulationClock`` that mirrors it.
+    """
+
+    queue: EventQueue = field(default_factory=EventQueue)
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+
+Callback = Callable[[Event], None]
+
+
+class EventLoop:
+    """Dispatches events from an :class:`EventQueue` to registered handlers.
+
+    The crowd platform registers a handler per :class:`EventKind`; the loop
+    pops events and invokes the matching handler until either the queue is
+    empty or a stop predicate is satisfied.
+    """
+
+    def __init__(self, queue: EventQueue) -> None:
+        self.queue = queue
+        self._handlers: dict[EventKind, list[Callback]] = {}
+
+    def on(self, kind: EventKind, handler: Callback) -> None:
+        """Register ``handler`` to be invoked for events of ``kind``."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def run_until(self, should_stop: Callable[[], bool]) -> int:
+        """Process events until ``should_stop()`` is true or the queue drains.
+
+        Returns the number of events processed.
+        """
+        processed = 0
+        while self.queue and not should_stop():
+            event = self.queue.pop()
+            for handler in self._handlers.get(event.kind, []):
+                handler(event)
+            processed += 1
+        return processed
+
+    def run_all(self) -> int:
+        """Process every remaining event. Returns the number processed."""
+        return self.run_until(lambda: False)

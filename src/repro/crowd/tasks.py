@@ -1,0 +1,303 @@
+"""Task, assignment, and batch data structures.
+
+CLAMShell's unit of crowd work is a *task* (a HIT): a group of ``Ng`` records
+that a worker labels together (§6.2 calls Ng=1 "simple", 5 "medium", and 10
+"complex").  A task may be attempted by several workers concurrently when
+straggler mitigation duplicates it; each attempt is an *assignment*.  A
+*batch* is the fixed set of tasks the Batcher sends to the pool in one
+iteration, and the batch blocks until every task in it is complete.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Optional, Sequence
+
+
+class TaskState(Enum):
+    """Lifecycle of a task within a batch (§4.1)."""
+
+    UNASSIGNED = "unassigned"
+    ACTIVE = "active"
+    COMPLETE = "complete"
+
+
+class AssignmentStatus(Enum):
+    """Lifecycle of a single worker's attempt at a task."""
+
+    ACTIVE = "active"
+    COMPLETED = "completed"
+    #: Terminated: another worker finished the task first (straggler
+    #: mitigation), or the worker left / was evicted from the pool.
+    TERMINATED = "terminated"
+
+
+@dataclass
+class Assignment:
+    """One worker's attempt at one task.
+
+    The worker is always paid for an assignment they started, even if it is
+    terminated (§4.1), so cost accounting counts all assignments.
+    """
+
+    assignment_id: int
+    task_id: int
+    worker_id: int
+    started_at: float
+    #: Latency the worker would need to finish the task, drawn when the
+    #: assignment is created.  ``finishes_at = started_at + duration``.
+    duration: float
+    status: AssignmentStatus = AssignmentStatus.ACTIVE
+    #: Labels produced for the task's records, present only once completed.
+    labels: Optional[list[int]] = None
+    completed_at: Optional[float] = None
+    terminated_at: Optional[float] = None
+
+    @property
+    def finishes_at(self) -> float:
+        """Simulation time at which the worker would complete this attempt."""
+        return self.started_at + self.duration
+
+    @property
+    def is_active(self) -> bool:
+        return self.status == AssignmentStatus.ACTIVE
+
+    def complete(self, at: float, labels: Sequence[int]) -> None:
+        """Mark the assignment completed at time ``at`` with ``labels``."""
+        if self.status != AssignmentStatus.ACTIVE:
+            raise ValueError(f"cannot complete assignment in state {self.status}")
+        self.status = AssignmentStatus.COMPLETED
+        self.completed_at = float(at)
+        self.labels = list(labels)
+
+    def terminate(self, at: float) -> None:
+        """Mark the assignment terminated (pre-empted or worker removed)."""
+        if self.status != AssignmentStatus.ACTIVE:
+            raise ValueError(f"cannot terminate assignment in state {self.status}")
+        self.status = AssignmentStatus.TERMINATED
+        self.terminated_at = float(at)
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        """Wall-clock time the worker spent on the assignment, once resolved."""
+        if self.status == AssignmentStatus.COMPLETED:
+            assert self.completed_at is not None
+            return self.completed_at - self.started_at
+        if self.status == AssignmentStatus.TERMINATED:
+            assert self.terminated_at is not None
+            return self.terminated_at - self.started_at
+        return None
+
+
+@dataclass
+class Task:
+    """A labeling task (HIT) grouping one or more records.
+
+    Attributes
+    ----------
+    task_id:
+        Unique id within a run.
+    record_ids:
+        Indices of the dataset records grouped into this HIT (``Ng`` of them).
+    true_labels:
+        Ground-truth labels for the records, used by the simulator to decide
+        whether a worker's answer is correct.  Live deployments do not know
+        these; they exist only inside the crowd substrate.
+    votes_required:
+        Number of completed answers quality control requires before the task
+        is considered complete (1 when quality control is off).
+    """
+
+    task_id: int
+    record_ids: list[int]
+    true_labels: list[int]
+    votes_required: int = 1
+    state: TaskState = TaskState.UNASSIGNED
+    assignments: list[Assignment] = field(default_factory=list)
+    #: Completed answers, in completion order: (worker_id, labels, at).
+    answers: list[tuple[int, list[int], float]] = field(default_factory=list)
+    completed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.record_ids:
+            raise ValueError("a task must contain at least one record")
+        if len(self.record_ids) != len(self.true_labels):
+            raise ValueError("record_ids and true_labels must have equal length")
+        if self.votes_required < 1:
+            raise ValueError("votes_required must be >= 1")
+
+    @property
+    def num_records(self) -> int:
+        """Task complexity Ng: the number of records grouped into the HIT."""
+        return len(self.record_ids)
+
+    @property
+    def active_assignments(self) -> list[Assignment]:
+        return [a for a in self.assignments if a.is_active]
+
+    @property
+    def completed_assignments(self) -> list[Assignment]:
+        return [a for a in self.assignments if a.status == AssignmentStatus.COMPLETED]
+
+    @property
+    def is_complete(self) -> bool:
+        return self.state == TaskState.COMPLETE
+
+    @property
+    def votes_received(self) -> int:
+        return len(self.answers)
+
+    def add_assignment(self, assignment: Assignment) -> None:
+        if self.is_complete:
+            raise ValueError(f"task {self.task_id} is already complete")
+        self.assignments.append(assignment)
+        if self.state == TaskState.UNASSIGNED:
+            self.state = TaskState.ACTIVE
+
+    def record_answer(self, worker_id: int, labels: Sequence[int], at: float) -> None:
+        """Record one completed answer; completes the task once enough votes."""
+        if self.is_complete:
+            raise ValueError(f"task {self.task_id} is already complete")
+        self.answers.append((worker_id, list(labels), float(at)))
+        if self.votes_received >= self.votes_required:
+            self.state = TaskState.COMPLETE
+            self.completed_at = float(at)
+
+    def first_answer_labels(self) -> Optional[list[int]]:
+        """Labels from the first completed answer (what straggler mitigation returns)."""
+        if not self.answers:
+            return None
+        return list(self.answers[0][1])
+
+    def latency(self, batch_started_at: float) -> Optional[float]:
+        """Time from batch dispatch to task completion, if complete."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - batch_started_at
+
+
+@dataclass
+class Batch:
+    """A fixed set of tasks dispatched to the pool in one iteration."""
+
+    batch_id: int
+    tasks: list[Task]
+    dispatched_at: Optional[float] = None
+    completed_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.tasks:
+            raise ValueError("a batch must contain at least one task")
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self.tasks)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def size(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_records(self) -> int:
+        return sum(task.num_records for task in self.tasks)
+
+    @property
+    def is_complete(self) -> bool:
+        return all(task.is_complete for task in self.tasks)
+
+    @property
+    def incomplete_tasks(self) -> list[Task]:
+        return [t for t in self.tasks if not t.is_complete]
+
+    @property
+    def unassigned_tasks(self) -> list[Task]:
+        return [t for t in self.tasks if t.state == TaskState.UNASSIGNED]
+
+    @property
+    def active_tasks(self) -> list[Task]:
+        return [t for t in self.tasks if t.state == TaskState.ACTIVE]
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Wall-clock time from dispatch to the last task's completion."""
+        if self.dispatched_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.dispatched_at
+
+    def task_latencies(self) -> list[float]:
+        """Per-task latencies (dispatch to completion), for completed tasks."""
+        if self.dispatched_at is None:
+            return []
+        return [
+            t.completed_at - self.dispatched_at
+            for t in self.tasks
+            if t.completed_at is not None
+        ]
+
+
+class TaskFactory:
+    """Builds tasks from dataset records, grouping ``records_per_task`` each.
+
+    The factory hands out monotonically increasing task ids across its whole
+    lifetime, so tasks created for different batches never collide.
+    """
+
+    def __init__(self, records_per_task: int = 1, votes_required: int = 1) -> None:
+        if records_per_task < 1:
+            raise ValueError("records_per_task must be >= 1")
+        if votes_required < 1:
+            raise ValueError("votes_required must be >= 1")
+        self.records_per_task = records_per_task
+        self.votes_required = votes_required
+        self._task_counter = itertools.count()
+
+    def build_tasks(
+        self,
+        record_ids: Sequence[int],
+        true_labels: Sequence[int],
+    ) -> list[Task]:
+        """Group the given records into tasks of ``records_per_task``."""
+        if len(record_ids) != len(true_labels):
+            raise ValueError("record_ids and true_labels must have equal length")
+        tasks = []
+        for start in range(0, len(record_ids), self.records_per_task):
+            chunk_ids = list(record_ids[start : start + self.records_per_task])
+            chunk_labels = [int(x) for x in true_labels[start : start + self.records_per_task]]
+            tasks.append(
+                Task(
+                    task_id=next(self._task_counter),
+                    record_ids=chunk_ids,
+                    true_labels=chunk_labels,
+                    votes_required=self.votes_required,
+                )
+            )
+        return tasks
+
+
+def group_into_batches(
+    tasks: Sequence[Task], batch_size: int, start_batch_id: int = 0
+) -> list[Batch]:
+    """Split ``tasks`` into consecutive batches of at most ``batch_size``."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    batches = []
+    for offset, start in enumerate(range(0, len(tasks), batch_size)):
+        chunk = list(tasks[start : start + batch_size])
+        batches.append(Batch(batch_id=start_batch_id + offset, tasks=chunk))
+    return batches
+
+
+def flatten_labels(tasks: Iterable[Task]) -> dict[int, int]:
+    """Map record id -> first-answer label across completed tasks."""
+    labels: dict[int, int] = {}
+    for task in tasks:
+        answer = task.first_answer_labels()
+        if answer is None:
+            continue
+        for record_id, label in zip(task.record_ids, answer):
+            labels[record_id] = label
+    return labels

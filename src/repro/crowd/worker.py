@@ -1,0 +1,303 @@
+"""Worker models for the simulated crowd.
+
+The paper's simulator (§6.1) characterises each crowd worker by three latent
+parameters measured from MTurk traces: a mean labeling latency ``mu``, a
+latency variance ``sigma**2``, and a mean accuracy ``lam``.  A worker's
+latency on an assignment is drawn i.i.d. from ``N(mu, sigma**2)`` (truncated
+below at a small positive floor), and the produced label is correct with
+probability ``lam``.
+
+This module provides :class:`WorkerProfile` (the latent parameters plus the
+draw methods) and :class:`WorkerPopulation` (the global distribution ``W``
+from which retainer pools and replacement workers are sampled, as in the pool
+maintenance convergence model of §4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+#: Minimum latency (seconds) a simulated worker can take on any assignment.
+#: Live workers need a few seconds just to read a task and click, so the
+#: truncation floor prevents the normal draw from producing nonsense.
+MIN_TASK_LATENCY_SECONDS = 1.0
+
+#: Minimum accuracy we allow a simulated worker to have.  Below 0.5 a binary
+#: labeler is actively adversarial, which the paper's deployments screen out
+#: with a qualification requirement (85% approval).
+MIN_WORKER_ACCURACY = 0.5
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """Latent parameters of a single simulated crowd worker.
+
+    Attributes
+    ----------
+    worker_id:
+        Unique identifier within a population.
+    mean_latency:
+        Mean per-assignment latency ``mu_i`` in seconds.
+    latency_std:
+        Standard deviation ``sigma_i`` of per-assignment latency in seconds.
+    accuracy:
+        Probability ``lambda_i`` that a produced label is correct.
+    """
+
+    worker_id: int
+    mean_latency: float
+    latency_std: float
+    accuracy: float
+
+    def __post_init__(self) -> None:
+        if self.mean_latency <= 0:
+            raise ValueError(f"mean_latency must be positive, got {self.mean_latency}")
+        if self.latency_std < 0:
+            raise ValueError(f"latency_std must be non-negative, got {self.latency_std}")
+        if not 0.0 <= self.accuracy <= 1.0:
+            raise ValueError(f"accuracy must be in [0, 1], got {self.accuracy}")
+
+    def draw_latency(self, rng: np.random.Generator, num_records: int = 1) -> float:
+        """Sample the latency (seconds) for one assignment of this worker.
+
+        ``num_records`` models task complexity ``Ng``: a HIT that groups
+        several records takes proportionally longer, with per-record noise.
+        """
+        if num_records < 1:
+            raise ValueError(f"num_records must be >= 1, got {num_records}")
+        draws = rng.normal(self.mean_latency, self.latency_std, size=num_records)
+        total = float(np.maximum(draws, MIN_TASK_LATENCY_SECONDS).sum())
+        return total
+
+    def draw_label(
+        self,
+        rng: np.random.Generator,
+        true_label: int,
+        num_classes: int = 2,
+    ) -> int:
+        """Sample a label: the true label w.p. ``accuracy``, else a wrong one."""
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        if rng.random() < self.accuracy:
+            return int(true_label)
+        wrong = [c for c in range(num_classes) if c != true_label]
+        return int(rng.choice(wrong))
+
+    def with_id(self, worker_id: int) -> "WorkerProfile":
+        """Return a copy of this profile under a different id."""
+        return replace(self, worker_id=worker_id)
+
+
+@dataclass(frozen=True)
+class PopulationParameters:
+    """Parameters of the global worker-latency distribution ``W``.
+
+    Mean worker latencies are drawn from a log-normal distribution, which
+    matches the heavy-tailed spread observed in the medical deployment
+    (Figure 2: per-worker means range from tens of seconds to hours).
+    Per-worker latency standard deviations are drawn proportional to the mean
+    with log-normal noise, and accuracies from a Beta distribution.
+    """
+
+    #: Log-space mean of per-worker mean latency.  exp(3.9) ~ 49 s/record.
+    log_mean_latency: float = 3.9
+    #: Log-space standard deviation of per-worker mean latency.
+    log_std_latency: float = 0.85
+    #: Multiplier relating a worker's latency std to their mean.
+    relative_std: float = 0.45
+    #: Log-space noise on the relative std.
+    relative_std_noise: float = 0.35
+    #: Beta distribution parameters for worker accuracy.
+    accuracy_alpha: float = 18.0
+    accuracy_beta: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.log_std_latency <= 0:
+            raise ValueError("log_std_latency must be positive")
+        if self.relative_std <= 0:
+            raise ValueError("relative_std must be positive")
+        if self.accuracy_alpha <= 0 or self.accuracy_beta <= 0:
+            raise ValueError("accuracy Beta parameters must be positive")
+
+
+class WorkerPopulation:
+    """The global distribution ``W`` of crowd workers.
+
+    A population either wraps an explicit list of profiles (e.g. fitted from a
+    trace) or generates workers on demand from :class:`PopulationParameters`.
+    Pool recruitment and pool-maintenance replacement both sample uniformly at
+    random from the population, matching the model in §4.2.
+    """
+
+    def __init__(
+        self,
+        profiles: Optional[Sequence[WorkerProfile]] = None,
+        parameters: Optional[PopulationParameters] = None,
+        seed: int = 0,
+    ) -> None:
+        if profiles is None and parameters is None:
+            parameters = PopulationParameters()
+        self._profiles: list[WorkerProfile] = list(profiles) if profiles else []
+        self._parameters = parameters
+        self._rng = np.random.default_rng(seed)
+        self._next_id = (
+            max((p.worker_id for p in self._profiles), default=-1) + 1
+        )
+
+    @property
+    def parameters(self) -> Optional[PopulationParameters]:
+        return self._parameters
+
+    @property
+    def profiles(self) -> list[WorkerProfile]:
+        """Profiles explicitly known to this population (trace workers)."""
+        return list(self._profiles)
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[WorkerProfile]:
+        return iter(self._profiles)
+
+    def sample_worker(self) -> WorkerProfile:
+        """Draw one worker uniformly from the population.
+
+        If the population has explicit profiles, one is chosen uniformly at
+        random (with a fresh id so the same trace worker can be "re-recruited"
+        as a distinct pool member).  Otherwise a new profile is synthesised
+        from the population parameters.
+        """
+        if self._profiles:
+            template = self._profiles[int(self._rng.integers(len(self._profiles)))]
+            worker = template.with_id(self._next_id)
+        else:
+            worker = self._generate_profile(self._next_id)
+        self._next_id += 1
+        return worker
+
+    def sample_workers(self, count: int) -> list[WorkerProfile]:
+        """Draw ``count`` workers i.i.d. from the population."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.sample_worker() for _ in range(count)]
+
+    def mean_latency(self) -> float:
+        """Population mean of per-worker mean latency (``Gamma`` in §4.2).
+
+        For explicit populations this is the empirical mean; for parametric
+        ones it is the log-normal analytic mean.
+        """
+        if self._profiles:
+            return float(np.mean([p.mean_latency for p in self._profiles]))
+        params = self._parameters
+        assert params is not None
+        return float(
+            np.exp(params.log_mean_latency + 0.5 * params.log_std_latency**2)
+        )
+
+    def split_by_threshold(self, threshold: float) -> tuple[float, float, float]:
+        """Split the population at ``threshold`` seconds of mean latency.
+
+        Returns ``(q, mu_fast, mu_slow)`` where ``q`` is the probability mass
+        of workers slower than the threshold, and ``mu_fast`` / ``mu_slow``
+        are the conditional means below / above it.  These are the quantities
+        in the pool-maintenance convergence model
+        ``E[mu] = (1 - q**(n+1)) * mu_f + q**(n+1) * mu_s``.
+
+        For parametric populations a large Monte-Carlo sample is used.
+        """
+        if threshold <= 0:
+            raise ValueError(f"threshold must be positive, got {threshold}")
+        if self._profiles:
+            means = np.array([p.mean_latency for p in self._profiles])
+        else:
+            means = np.array(
+                [self._generate_profile(i).mean_latency for i in range(20_000)]
+            )
+        slow = means > threshold
+        q = float(slow.mean())
+        mu_fast = float(means[~slow].mean()) if (~slow).any() else float(threshold)
+        mu_slow = float(means[slow].mean()) if slow.any() else float(threshold)
+        return q, mu_fast, mu_slow
+
+    def _generate_profile(self, worker_id: int) -> WorkerProfile:
+        params = self._parameters
+        assert params is not None, "parametric generation requires parameters"
+        mean_latency = float(
+            self._rng.lognormal(params.log_mean_latency, params.log_std_latency)
+        )
+        rel = params.relative_std * float(
+            self._rng.lognormal(0.0, params.relative_std_noise)
+        )
+        latency_std = max(0.5, mean_latency * rel)
+        accuracy = float(
+            np.clip(
+                self._rng.beta(params.accuracy_alpha, params.accuracy_beta),
+                MIN_WORKER_ACCURACY,
+                1.0,
+            )
+        )
+        return WorkerProfile(
+            worker_id=worker_id,
+            mean_latency=mean_latency,
+            latency_std=latency_std,
+            accuracy=accuracy,
+        )
+
+
+def population_from_profiles(
+    profiles: Iterable[WorkerProfile], seed: int = 0
+) -> WorkerPopulation:
+    """Build a :class:`WorkerPopulation` from explicit profiles."""
+    return WorkerPopulation(profiles=list(profiles), seed=seed)
+
+
+@dataclass
+class WorkerObservations:
+    """Empirical observations about one pool worker, used by maintenance.
+
+    Pool maintenance (§4.2) flags a worker for removal when the worker's
+    *observed* mean latency is significantly above the threshold ``PM_ell``.
+    Straggler mitigation censors observations (terminated assignments do not
+    reveal their true latency), so completed and terminated counts are kept
+    separately; TermEst (§4.3) uses them to correct the estimate.
+    """
+
+    worker_id: int
+    completed_latencies: list[float] = field(default_factory=list)
+    terminated_count: int = 0
+    #: Mean latency of the workers whose completions caused this worker's
+    #: assignments to terminate (the ``l_f`` quantity in TermEst).
+    terminator_latencies: list[float] = field(default_factory=list)
+
+    @property
+    def completed_count(self) -> int:
+        return len(self.completed_latencies)
+
+    @property
+    def started_count(self) -> int:
+        return self.completed_count + self.terminated_count
+
+    def record_completion(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.completed_latencies.append(float(latency))
+
+    def record_termination(self, terminator_latency: Optional[float] = None) -> None:
+        self.terminated_count += 1
+        if terminator_latency is not None:
+            self.terminator_latencies.append(float(terminator_latency))
+
+    def empirical_mean_latency(self) -> Optional[float]:
+        """Mean of completed-assignment latencies; ``None`` if no completions."""
+        if not self.completed_latencies:
+            return None
+        return float(np.mean(self.completed_latencies))
+
+    def empirical_std_latency(self) -> Optional[float]:
+        if len(self.completed_latencies) < 2:
+            return None
+        return float(np.std(self.completed_latencies, ddof=1))

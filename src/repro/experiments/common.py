@@ -1,0 +1,149 @@
+"""Shared plumbing for the experiment drivers.
+
+Every driver in ``repro.experiments`` reproduces one figure or table from the
+paper's evaluation (§6).  They all need the same scaffolding: a worker
+population shaped like the live MTurk pools, a labeling workload of the right
+size and task complexity, and a way to run a configuration end to end and
+collect metrics.  Scale parameters default to values that finish in seconds
+on a laptop; the paper-scale values are noted in each driver's docstring and
+can be passed explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..core.batcher import Batcher, RunResult
+from ..core.config import CLAMShellConfig
+from ..crowd.platform import SimulatedCrowdPlatform
+from ..crowd.traces import default_simulation_population
+from ..crowd.worker import PopulationParameters, WorkerPopulation
+from ..learning.datasets import Dataset
+
+
+def make_labeling_workload(
+    num_records: int = 500, num_classes: int = 2, seed: int = 0
+) -> Dataset:
+    """A minimal dataset for labeling-only experiments (Figures 3-14).
+
+    The per-batch experiments measure crowd latency, not model quality, so
+    the records carry trivial two-dimensional features; what matters is that
+    there are ``num_records`` of them with ground-truth labels for the
+    simulated workers to (mostly) agree with.
+    """
+    if num_records < 1:
+        raise ValueError("num_records must be >= 1")
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, num_classes, size=num_records)
+    X = rng.normal(size=(num_records, 2)) + y[:, None]
+    indices = np.arange(num_records)
+    return Dataset(
+        name="labeling-workload",
+        X=X.astype(float),
+        y=y.astype(int),
+        train_indices=indices,
+        test_indices=indices[: max(1, num_records // 10)],
+        num_classes=num_classes,
+    )
+
+
+def mixed_speed_population(seed: int = 0) -> WorkerPopulation:
+    """A worker population with a pronounced slow tail.
+
+    Per-worker mean latency is log-normal with median ~8 s/record and a tail
+    stretching to minutes, the regime in which pool maintenance and straggler
+    mitigation have the most to gain (matching the Figure 5/8 latency
+    buckets: fast < 4 s, medium 5-7 s, slow >= 8 s per label).
+    """
+    return WorkerPopulation(
+        parameters=PopulationParameters(
+            log_mean_latency=np.log(8.0),
+            log_std_latency=0.8,
+            relative_std=0.5,
+            relative_std_noise=0.4,
+        ),
+        seed=seed,
+    )
+
+
+def fast_population(seed: int = 0) -> WorkerPopulation:
+    """A tighter, faster population approximating a well-qualified pool."""
+    return default_simulation_population(seed=seed, fast_pool=True)
+
+
+@dataclass
+class ExperimentRun:
+    """One configuration's outcome plus the identifiers needed to report it."""
+
+    label: str
+    config: CLAMShellConfig
+    result: RunResult
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_batch_latency(self) -> float:
+        return self.result.metrics.mean_batch_latency()
+
+    @property
+    def batch_latency_std(self) -> float:
+        return self.result.metrics.batch_latency_std()
+
+    @property
+    def total_latency(self) -> float:
+        return self.result.metrics.total_wall_clock
+
+    @property
+    def total_cost(self) -> float:
+        return self.result.total_cost
+
+
+def run_configuration(
+    config: CLAMShellConfig,
+    dataset: Dataset,
+    population: Optional[WorkerPopulation] = None,
+    num_records: int = 500,
+    label: str = "",
+    seed: Optional[int] = None,
+    max_batches: int = 1000,
+    accuracy_target: Optional[float] = None,
+) -> ExperimentRun:
+    """Run one configuration against a fresh platform and collect the outcome."""
+    population = population or mixed_speed_population(seed=config.seed)
+    platform_seed = config.seed if seed is None else seed
+    platform = SimulatedCrowdPlatform(
+        population=population,
+        seed=platform_seed,
+        num_classes=dataset.num_classes,
+        abandonment_rate=config.abandonment_rate,
+    )
+    batcher = Batcher(config=config, dataset=dataset, platform=platform)
+    result = batcher.run(
+        num_records=num_records,
+        max_batches=max_batches,
+        accuracy_target=accuracy_target,
+    )
+    return ExperimentRun(
+        label=label or config.describe(), config=config, result=result
+    )
+
+
+def format_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Plain-text table formatting for benchmark output."""
+    all_rows = [headers] + [[_format_cell(c) for c in row] for row in rows]
+    widths = [max(len(str(row[i])) for row in all_rows) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(all_rows):
+        line = "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

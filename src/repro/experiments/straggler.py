@@ -1,0 +1,182 @@
+"""Experiments F9-F11: straggler mitigation (§6.3).
+
+The paper gives workers CIFAR-10 tasks with Ng = 5 and a pool of Np = 15, and
+varies the pool-to-batch ratio R.  It reports:
+
+* Figure 9 — per-batch standard deviation of task latencies drops 5-10x with
+  mitigation on;
+* Figure 10 — points labeled over time: mitigation finishes batches up to 5x
+  faster because it never waits on stragglers;
+* Figure 11 — the summary: cost rises 1-2x, latency improves 2.5-5x, and
+  variance improves 4-14x; R between 0.75 and 1 is the sweet spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.config import CLAMShellConfig, LearningStrategy
+from ..crowd.worker import WorkerPopulation
+from .common import ExperimentRun, make_labeling_workload, mixed_speed_population, run_configuration
+
+#: Pool-to-batch ratios studied in §6.3.
+DEFAULT_RATIOS: tuple[float, ...] = (0.75, 1.0, 3.0)
+
+
+@dataclass
+class StragglerComparison:
+    """Paired runs (mitigation on/off) at one pool-to-batch ratio R."""
+
+    ratio: float
+    with_mitigation: ExperimentRun
+    without_mitigation: ExperimentRun
+
+    @property
+    def latency_speedup(self) -> float:
+        on = self.with_mitigation.total_latency
+        return self.without_mitigation.total_latency / on if on > 0 else float("inf")
+
+    @property
+    def stddev_reduction(self) -> float:
+        """Mean per-batch task-latency std without mitigation over with it."""
+        on = self.with_mitigation.result.metrics.per_batch_stddevs()
+        off = self.without_mitigation.result.metrics.per_batch_stddevs()
+        on_mean = float(on.mean()) if on.size else 0.0
+        off_mean = float(off.mean()) if off.size else 0.0
+        if on_mean <= 0:
+            return float("inf")
+        return off_mean / on_mean
+
+    @property
+    def cost_increase(self) -> float:
+        off = self.without_mitigation.total_cost
+        return self.with_mitigation.total_cost / off if off > 0 else float("inf")
+
+
+@dataclass
+class StragglerExperimentResult:
+    """The Figure 9/10/11 content across ratios."""
+
+    comparisons: list[StragglerComparison] = field(default_factory=list)
+
+    def summary_rows(self) -> list[list[object]]:
+        """Figure-11-style rows: R, latency speedup, stddev reduction, cost increase."""
+        return [
+            [
+                comparison.ratio,
+                comparison.latency_speedup,
+                comparison.stddev_reduction,
+                comparison.cost_increase,
+            ]
+            for comparison in self.comparisons
+        ]
+
+    def per_batch_stddev_series(self) -> dict[str, list[float]]:
+        """The Figure-9 series: per-batch stddev for each configuration."""
+        series: dict[str, list[float]] = {}
+        for comparison in self.comparisons:
+            series[f"SM R={comparison.ratio:g}"] = list(
+                comparison.with_mitigation.result.metrics.per_batch_stddevs()
+            )
+            series[f"NoSM R={comparison.ratio:g}"] = list(
+                comparison.without_mitigation.result.metrics.per_batch_stddevs()
+            )
+        return series
+
+    def labels_over_time_series(self) -> dict[str, list[tuple[float, int]]]:
+        """The Figure-10 series: cumulative labels over time per configuration."""
+        series: dict[str, list[tuple[float, int]]] = {}
+        for comparison in self.comparisons:
+            series[f"SM R={comparison.ratio:g}"] = (
+                comparison.with_mitigation.result.metrics.labels_over_time()
+            )
+            series[f"NoSM R={comparison.ratio:g}"] = (
+                comparison.without_mitigation.result.metrics.labels_over_time()
+            )
+        return series
+
+
+def _straggler_config(
+    ratio: float,
+    mitigation: bool,
+    pool_size: int,
+    records_per_task: int,
+    seed: int,
+) -> CLAMShellConfig:
+    return CLAMShellConfig(
+        pool_size=pool_size,
+        records_per_task=records_per_task,
+        pool_batch_ratio=ratio,
+        straggler_mitigation=mitigation,
+        maintenance_threshold=None,
+        learning_strategy=LearningStrategy.NONE,
+        seed=seed,
+    )
+
+
+def run_straggler_experiment(
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    num_tasks: int = 60,
+    pool_size: int = 15,
+    records_per_task: int = 5,
+    population: Optional[WorkerPopulation] = None,
+    seed: int = 0,
+) -> StragglerExperimentResult:
+    """Run the §6.3 experiment: SM on/off across pool-to-batch ratios."""
+    result = StragglerExperimentResult()
+    num_records = num_tasks * records_per_task
+    dataset = make_labeling_workload(num_records=num_records, seed=seed)
+    for ratio in ratios:
+        pop_on = population or mixed_speed_population(seed=seed)
+        with_mitigation = run_configuration(
+            _straggler_config(ratio, True, pool_size, records_per_task, seed),
+            dataset,
+            population=pop_on,
+            num_records=num_records,
+            label=f"SM R={ratio:g}",
+            seed=seed,
+        )
+        pop_off = population or mixed_speed_population(seed=seed)
+        without_mitigation = run_configuration(
+            _straggler_config(ratio, False, pool_size, records_per_task, seed),
+            dataset,
+            population=pop_off,
+            num_records=num_records,
+            label=f"NoSM R={ratio:g}",
+            seed=seed,
+        )
+        result.comparisons.append(
+            StragglerComparison(
+                ratio=ratio,
+                with_mitigation=with_mitigation,
+                without_mitigation=without_mitigation,
+            )
+        )
+    return result
+
+
+def fastest_worker_share(run: ExperimentRun) -> float:
+    """Fraction of completed assignments done by the fastest quartile of workers.
+
+    Under straggler mitigation the fastest workers complete the majority of
+    tasks (§4.1); this measures that concentration for a finished run.
+    """
+    records = [r for r in run.result.assignment_records() if r.completed]
+    if not records:
+        return 0.0
+    durations: dict[int, list[float]] = {}
+    counts: dict[int, int] = {}
+    for record in records:
+        durations.setdefault(record.worker_id, []).append(
+            record.ended_at - record.started_at
+        )
+        counts[record.worker_id] = counts.get(record.worker_id, 0) + 1
+    mean_by_worker = {w: float(np.mean(v)) for w, v in durations.items()}
+    ordered = sorted(mean_by_worker, key=mean_by_worker.get)
+    quartile = max(1, len(ordered) // 4)
+    fast_workers = set(ordered[:quartile])
+    fast_completions = sum(counts[w] for w in fast_workers)
+    return fast_completions / len(records)

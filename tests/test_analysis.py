@@ -1,0 +1,142 @@
+"""Unit tests for the analysis package (latency profiling and statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.latency_profile import empirical_cdf, profile_trace, worker_latency_cdfs
+from repro.analysis.stats import (
+    bootstrap_mean_ci,
+    coefficient_of_variation,
+    one_sided_mean_test,
+    percentile_summary,
+)
+from repro.crowd.traces import CrowdTrace, MedicalDeploymentParameters, generate_medical_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    params = MedicalDeploymentParameters(num_workers=60, num_tasks=3000)
+    return generate_medical_trace(params, seed=1)
+
+
+class TestEmpiricalCDF:
+    def test_probabilities_reach_one(self):
+        cdf = empirical_cdf([3.0, 1.0, 2.0])
+        assert cdf.probabilities[-1] == pytest.approx(1.0)
+        assert list(cdf.values) == [1.0, 2.0, 3.0]
+
+    def test_quantile_and_probability_at(self):
+        cdf = empirical_cdf(list(range(1, 101)))
+        assert cdf.quantile(0.5) == pytest.approx(50.5)
+        assert cdf.probability_at(50) == pytest.approx(0.5)
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([1.0]).quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestProfileTrace:
+    def test_taxonomy_has_all_granularities(self, trace):
+        taxonomy = profile_trace(trace)
+        granularities = {g for g, _, _ in taxonomy.rows()}
+        assert granularities == {"task", "batch", "full-run"}
+
+    def test_task_sources_match_table1(self, trace):
+        taxonomy = profile_trace(trace)
+        sources = {s for _, s, _ in taxonomy.rows()}
+        for expected in (
+            "recruitment",
+            "work",
+            "stragglers",
+            "mean pool latency",
+            "decision time",
+            "task count",
+            "batch size",
+            "pool size",
+        ):
+            assert expected in sources
+
+    def test_measured_sources_have_statistics(self, trace):
+        taxonomy = profile_trace(trace)
+        work = [s for s in taxonomy.sources if s.source == "work"][0]
+        assert work.median is not None and work.median > 0
+        assert work.p90 > work.median
+
+    def test_by_granularity_filter(self, trace):
+        taxonomy = profile_trace(trace)
+        assert len(taxonomy.by_granularity("full-run")) == 4
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            profile_trace(CrowdTrace())
+
+
+class TestWorkerLatencyCDFs:
+    def test_cdfs_have_worker_count_entries(self, trace):
+        mean_cdf, std_cdf = worker_latency_cdfs(trace)
+        assert len(mean_cdf.values) == len(trace.worker_ids())
+        assert len(std_cdf.values) > 0
+
+    def test_mean_spread_is_wide(self, trace):
+        """Figure 2's point: per-worker means span a wide range."""
+        mean_cdf, _ = worker_latency_cdfs(trace)
+        assert mean_cdf.values.max() > 5 * mean_cdf.values.min()
+
+
+class TestOneSidedMeanTest:
+    def test_clearly_above_threshold_significant(self):
+        result = one_sided_mean_test([20.0, 22.0, 19.0, 21.0], threshold=8.0)
+        assert result.significant
+        assert result.p_value < 0.01
+
+    def test_below_threshold_not_significant(self):
+        result = one_sided_mean_test([3.0, 4.0, 5.0], threshold=8.0)
+        assert not result.significant
+
+    def test_single_observation_falls_back_to_comparison(self):
+        assert one_sided_mean_test([10.0], threshold=8.0).significant
+        assert not one_sided_mean_test([5.0], threshold=8.0).significant
+
+    def test_zero_variance_falls_back(self):
+        assert one_sided_mean_test([9.0, 9.0, 9.0], threshold=8.0).significant
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            one_sided_mean_test([], threshold=1.0)
+
+    def test_invalid_significance_rejected(self):
+        with pytest.raises(ValueError):
+            one_sided_mean_test([1.0], threshold=1.0, significance=0.0)
+
+
+class TestSummaries:
+    def test_percentile_summary(self):
+        values = list(range(1, 101))
+        summary = percentile_summary(values, (50, 99))
+        assert summary[50.0] == pytest.approx(50.5)
+        assert summary[99.0] > 99
+
+    def test_percentile_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile_summary([])
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([10.0, 10.0, 10.0, 20.0]) > 0
+
+    def test_coefficient_of_variation_zero_mean_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_of_variation([-1.0, 1.0])
+
+    def test_bootstrap_ci_contains_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(10.0, 2.0, size=200)
+        low, high = bootstrap_mean_ci(values, seed=0)
+        assert low < values.mean() < high
+
+    def test_bootstrap_invalid_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0, 2.0], confidence=1.5)

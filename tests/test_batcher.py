@@ -1,0 +1,182 @@
+"""Unit tests for the Batcher full-run orchestration."""
+
+import pytest
+
+from repro.core.batcher import Batcher, SequentialSelector
+from repro.core.config import CLAMShellConfig, LearningStrategy
+from repro.crowd.platform import SimulatedCrowdPlatform
+from repro.experiments.common import make_labeling_workload
+
+
+def build_batcher(config, dataset, population, seed=0):
+    platform = SimulatedCrowdPlatform(
+        population=population, seed=seed, num_classes=dataset.num_classes
+    )
+    return Batcher(config=config, dataset=dataset, platform=platform)
+
+
+@pytest.fixture
+def labeling_dataset():
+    return make_labeling_workload(num_records=80, seed=0)
+
+
+class TestSequentialSelector:
+    def test_hands_out_all_records_once(self, labeling_dataset):
+        selector = SequentialSelector(labeling_dataset, seed=0)
+        seen = []
+        while selector.has_remaining():
+            seen.extend(selector.next_records(13))
+        assert sorted(seen) == sorted(labeling_dataset.train_record_ids())
+
+    def test_exhausted_selector_returns_empty(self, labeling_dataset):
+        selector = SequentialSelector(labeling_dataset, seed=0)
+        selector.next_records(10_000)
+        assert selector.next_records(5) == []
+        assert not selector.has_remaining()
+
+
+class TestNoLearningRuns:
+    def test_labels_requested_number_of_records(self, labeling_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=5,
+            learning_strategy=LearningStrategy.NONE,
+            straggler_mitigation=True,
+            maintenance_threshold=None,
+            seed=0,
+        )
+        batcher = build_batcher(config, labeling_dataset, small_population)
+        result = batcher.run(num_records=30)
+        assert result.metrics.records_labeled == 30
+        assert len(result.labels) == 30
+        assert result.learning_curve is None
+        assert result.final_accuracy is None
+
+    def test_batches_respect_pool_batch_ratio(self, labeling_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=6,
+            pool_batch_ratio=2.0,
+            learning_strategy=LearningStrategy.NONE,
+            maintenance_threshold=None,
+            seed=0,
+        )
+        batcher = build_batcher(config, labeling_dataset, small_population)
+        result = batcher.run(num_records=12)
+        # batch_size = 6 / 2 = 3 tasks per batch -> 4 batches for 12 records.
+        assert result.metrics.num_batches == 4
+
+    def test_cost_and_wall_clock_positive(self, labeling_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=5, learning_strategy=LearningStrategy.NONE, seed=0
+        )
+        batcher = build_batcher(config, labeling_dataset, small_population)
+        result = batcher.run(num_records=20)
+        assert result.total_cost > 0
+        assert result.metrics.total_wall_clock > 0
+
+    def test_labels_over_time_is_monotone(self, labeling_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=5, learning_strategy=LearningStrategy.NONE, seed=0
+        )
+        batcher = build_batcher(config, labeling_dataset, small_population)
+        result = batcher.run(num_records=25)
+        curve = result.metrics.labels_over_time()
+        counts = [count for _, count in curve]
+        assert counts == sorted(counts)
+        assert counts[-1] == 25
+
+    def test_maintenance_records_replacements(self, labeling_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=5,
+            learning_strategy=LearningStrategy.NONE,
+            maintenance_threshold=8.0,
+            maintenance_min_observations=1,
+            seed=0,
+        )
+        batcher = build_batcher(config, labeling_dataset, small_population)
+        result = batcher.run(num_records=60)
+        # The small_population contains 10-28 s workers, so some evictions occur.
+        assert len(result.replacements) >= 1
+
+    def test_votes_required_pays_for_extra_answers(self, labeling_dataset, small_population):
+        single = CLAMShellConfig(
+            pool_size=5, learning_strategy=LearningStrategy.NONE, votes_required=1, seed=0
+        )
+        redundant = single.with_overrides(votes_required=3)
+        single_run = build_batcher(single, labeling_dataset, small_population).run(num_records=10)
+        redundant_run = build_batcher(redundant, labeling_dataset, small_population).run(
+            num_records=10
+        )
+        assert redundant_run.total_cost > single_run.total_cost
+
+
+class TestLearningRuns:
+    def test_passive_learning_produces_curve(self, tiny_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=5,
+            learning_strategy=LearningStrategy.PASSIVE,
+            maintenance_threshold=None,
+            seed=0,
+        )
+        batcher = build_batcher(config, tiny_dataset, small_population)
+        result = batcher.run(num_records=40)
+        assert result.learning_curve is not None
+        assert len(result.learning_curve) >= 2
+        assert result.final_accuracy is not None
+
+    def test_hybrid_learning_improves_over_prior(self, tiny_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=6,
+            learning_strategy=LearningStrategy.HYBRID,
+            maintenance_threshold=None,
+            candidate_sample_size=100,
+            seed=0,
+        )
+        batcher = build_batcher(config, tiny_dataset, small_population)
+        result = batcher.run(num_records=60)
+        curve = result.learning_curve
+        assert curve is not None
+        assert curve.final_accuracy() > curve.points[0].accuracy
+
+    def test_active_learning_batches_are_small(self, tiny_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=10,
+            learning_strategy=LearningStrategy.ACTIVE,
+            active_fraction=0.5,
+            maintenance_threshold=None,
+            candidate_sample_size=100,
+            seed=0,
+        )
+        batcher = build_batcher(config, tiny_dataset, small_population)
+        result = batcher.run(num_records=20)
+        # active batch size = 5 records -> 4 batches.
+        assert result.metrics.num_batches == 4
+
+    def test_accuracy_target_stops_early(self, tiny_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=8,
+            learning_strategy=LearningStrategy.PASSIVE,
+            maintenance_threshold=None,
+            seed=0,
+        )
+        batcher = build_batcher(config, tiny_dataset, small_population)
+        result = batcher.run(num_records=200, accuracy_target=0.7)
+        assert result.metrics.records_labeled < 200
+
+    def test_no_retainer_pool_adds_recruitment_latency(self, labeling_dataset, small_population):
+        with_pool = CLAMShellConfig(
+            pool_size=5, learning_strategy=LearningStrategy.NONE, seed=0
+        )
+        without_pool = with_pool.with_overrides(use_retainer_pool=False)
+        pooled = build_batcher(with_pool, labeling_dataset, small_population).run(num_records=20)
+        unpooled = build_batcher(without_pool, labeling_dataset, small_population).run(
+            num_records=20
+        )
+        assert unpooled.metrics.total_wall_clock > pooled.metrics.total_wall_clock
+
+    def test_invalid_arguments_rejected(self, tiny_dataset, small_population):
+        config = CLAMShellConfig(pool_size=5, seed=0)
+        batcher = build_batcher(config, tiny_dataset, small_population)
+        with pytest.raises(ValueError):
+            batcher.run(num_records=0)
+        with pytest.raises(ValueError):
+            batcher.run(num_records=10, max_batches=0)

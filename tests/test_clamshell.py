@@ -1,0 +1,104 @@
+"""Unit tests for the CLAMShell facade."""
+
+import pytest
+
+from repro.core.clamshell import CLAMShell
+from repro.core.config import (
+    CLAMShellConfig,
+    LearningStrategy,
+    baseline_no_retainer,
+    baseline_retainer,
+    full_clamshell,
+)
+from repro.learning.datasets import make_classification
+
+
+@pytest.fixture
+def easy_dataset():
+    return make_classification(
+        n_samples=400, n_features=12, n_informative=6, class_sep=2.0, flip_y=0.0, seed=1
+    )
+
+
+class TestConstruction:
+    def test_default_config_is_full_clamshell(self, easy_dataset):
+        system = CLAMShell(dataset=easy_dataset)
+        assert system.config.straggler_mitigation
+        assert system.config.learning_strategy == LearningStrategy.HYBRID
+
+    def test_run_requires_dataset(self):
+        system = CLAMShell(config=full_clamshell())
+        with pytest.raises(ValueError):
+            system.run(num_records=10)
+
+    def test_build_platform_uses_dataset_classes(self, easy_dataset, small_population):
+        system = CLAMShell(dataset=easy_dataset, population=small_population)
+        platform = system.build_platform()
+        assert platform.num_classes == easy_dataset.num_classes
+
+
+class TestRun:
+    def test_run_returns_labels_and_accuracy(self, easy_dataset, small_population):
+        system = CLAMShell(
+            config=full_clamshell(pool_size=6, candidate_sample_size=100),
+            dataset=easy_dataset,
+            population=small_population,
+        )
+        result = system.run(num_records=40)
+        assert len(result.labels) == 40
+        assert result.final_accuracy is not None
+        assert result.metrics.total_wall_clock > 0
+
+    def test_runs_are_independent(self, easy_dataset, small_population):
+        system = CLAMShell(
+            config=full_clamshell(pool_size=6, candidate_sample_size=100),
+            dataset=easy_dataset,
+            population=small_population,
+        )
+        first = system.run(num_records=20)
+        second = system.run(num_records=20)
+        assert first.metrics.records_labeled == second.metrics.records_labeled == 20
+
+    def test_learning_none_strategy(self, easy_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=5, learning_strategy=LearningStrategy.NONE, seed=0
+        )
+        system = CLAMShell(config=config, dataset=easy_dataset, population=small_population)
+        result = system.run(num_records=15)
+        assert result.learning_curve is None
+        assert len(result.labels) == 15
+
+    def test_baseline_configs_run(self, easy_dataset, small_population):
+        for config in (baseline_no_retainer(pool_size=5), baseline_retainer(pool_size=5)):
+            system = CLAMShell(config=config, dataset=easy_dataset, population=small_population)
+            result = system.run(num_records=20)
+            assert result.metrics.records_labeled == 20
+
+    def test_last_platform_and_batcher_exposed(self, easy_dataset, small_population):
+        system = CLAMShell(
+            config=full_clamshell(pool_size=5),
+            dataset=easy_dataset,
+            population=small_population,
+        )
+        system.run(num_records=10)
+        assert system.last_platform is not None
+        assert system.last_batcher is not None
+
+
+class TestPoolSizeGuidance:
+    def test_guidance_covers_candidates(self, easy_dataset, small_population):
+        system = CLAMShell(dataset=easy_dataset, population=small_population)
+        guidance = system.pool_size_guidance((5, 10, 20))
+        assert [g.pool_size for g in guidance] == [5, 10, 20]
+        assert all(g.expected_batch_seconds > 0 for g in guidance)
+        assert all(g.expected_cost_per_batch > 0 for g in guidance)
+
+    def test_larger_pools_cost_more_per_batch(self, easy_dataset, small_population):
+        system = CLAMShell(dataset=easy_dataset, population=small_population)
+        guidance = system.pool_size_guidance((5, 50))
+        assert guidance[1].expected_cost_per_batch > guidance[0].expected_cost_per_batch
+
+    def test_invalid_pool_size_rejected(self, easy_dataset, small_population):
+        system = CLAMShell(dataset=easy_dataset, population=small_population)
+        with pytest.raises(ValueError):
+            system.pool_size_guidance((0,))

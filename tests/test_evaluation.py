@@ -1,0 +1,99 @@
+"""Unit tests for evaluation utilities and learning curves."""
+
+import numpy as np
+import pytest
+
+from repro.learning.evaluation import (
+    LearningCurve,
+    accuracy,
+    cross_validate,
+    summarize_curves,
+)
+from repro.learning.models import LogisticRegressionModel
+
+
+def make_curve(strategy="hybrid"):
+    curve = LearningCurve(strategy=strategy, dataset="test")
+    curve.record(0, 0.0, 0.5, batch_index=-1)
+    curve.record(10, 30.0, 0.62, batch_index=0)
+    curve.record(20, 60.0, 0.71, batch_index=1)
+    curve.record(30, 90.0, 0.80, batch_index=2)
+    return curve
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestLearningCurve:
+    def test_final_and_best(self):
+        curve = make_curve()
+        assert curve.final_accuracy() == pytest.approx(0.80)
+        assert curve.best_accuracy() == pytest.approx(0.80)
+
+    def test_time_to_accuracy(self):
+        curve = make_curve()
+        assert curve.time_to_accuracy(0.70) == pytest.approx(60.0)
+        assert curve.time_to_accuracy(0.95) is None
+
+    def test_labels_to_accuracy(self):
+        curve = make_curve()
+        assert curve.labels_to_accuracy(0.62) == 10
+        assert curve.labels_to_accuracy(0.99) is None
+
+    def test_accuracy_at_time_step_interpolation(self):
+        curve = make_curve()
+        assert curve.accuracy_at_time(45.0) == pytest.approx(0.62)
+        assert curve.accuracy_at_time(1000.0) == pytest.approx(0.80)
+
+    def test_empty_curve_rejected(self):
+        curve = LearningCurve(strategy="x", dataset="y")
+        with pytest.raises(ValueError):
+            curve.final_accuracy()
+
+    def test_arrays(self):
+        curve = make_curve()
+        assert curve.labels().tolist() == [0, 10, 20, 30]
+        assert curve.times().tolist() == [0.0, 30.0, 60.0, 90.0]
+        assert len(curve.accuracies()) == 4
+
+    def test_summarize_curves(self):
+        curves = [make_curve("a"), make_curve("b")]
+        summary = summarize_curves(curves, 0.7)
+        assert summary == {"a": 60.0, "b": 60.0}
+
+
+class TestCrossValidate:
+    def test_easy_data_scores_high(self, tiny_dataset):
+        score = cross_validate(
+            lambda: LogisticRegressionModel(),
+            tiny_dataset.X_train,
+            tiny_dataset.y_train,
+            folds=4,
+            seed=0,
+        )
+        assert score > 0.85
+
+    def test_invalid_folds_rejected(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            cross_validate(
+                lambda: LogisticRegressionModel(),
+                tiny_dataset.X_train,
+                tiny_dataset.y_train,
+                folds=1,
+            )
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            cross_validate(
+                lambda: LogisticRegressionModel(), np.zeros((3, 2)), np.array([0, 1, 0]), folds=5
+            )

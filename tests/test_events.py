@@ -1,0 +1,141 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.crowd.events import EventKind, EventLoop, EventQueue, SimulationClock
+
+
+class TestEventQueue:
+    def test_starts_at_zero(self):
+        assert EventQueue().now == 0.0
+
+    def test_starts_at_given_time(self):
+        assert EventQueue(start_time=5.0).now == 5.0
+
+    def test_schedule_and_pop_advances_clock(self):
+        queue = EventQueue()
+        queue.schedule(3.0, EventKind.CUSTOM, payload="a")
+        event = queue.pop()
+        assert event.payload == "a"
+        assert queue.now == 3.0
+
+    def test_pop_order_is_by_time(self):
+        queue = EventQueue()
+        queue.schedule(5.0, EventKind.CUSTOM, "late")
+        queue.schedule(1.0, EventKind.CUSTOM, "early")
+        assert queue.pop().payload == "early"
+        assert queue.pop().payload == "late"
+
+    def test_ties_break_in_insertion_order(self):
+        queue = EventQueue()
+        queue.schedule(2.0, EventKind.CUSTOM, "first")
+        queue.schedule(2.0, EventKind.CUSTOM, "second")
+        assert queue.pop().payload == "first"
+        assert queue.pop().payload == "second"
+
+    def test_schedule_in_uses_relative_delay(self):
+        queue = EventQueue()
+        queue.schedule(2.0, EventKind.CUSTOM)
+        queue.pop()
+        event = queue.schedule_in(3.0, EventKind.CUSTOM)
+        assert event.time == pytest.approx(5.0)
+
+    def test_schedule_in_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_in(-1.0, EventKind.CUSTOM)
+
+    def test_schedule_in_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5.0, EventKind.CUSTOM)
+        queue.pop()
+        with pytest.raises(ValueError):
+            queue.schedule(1.0, EventKind.CUSTOM)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_len_counts_pending_events(self):
+        queue = EventQueue()
+        queue.schedule(1.0, EventKind.CUSTOM)
+        queue.schedule(2.0, EventKind.CUSTOM)
+        assert len(queue) == 2
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, EventKind.CUSTOM, "cancelled")
+        queue.schedule(2.0, EventKind.CUSTOM, "kept")
+        first.cancel()
+        assert len(queue) == 1
+        assert queue.pop().payload == "kept"
+
+    def test_peek_does_not_advance_clock(self):
+        queue = EventQueue()
+        queue.schedule(4.0, EventKind.CUSTOM, "x")
+        peeked = queue.peek()
+        assert peeked is not None and peeked.payload == "x"
+        assert queue.now == 0.0
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek() is None
+
+    def test_advance_to_moves_clock_forward(self):
+        queue = EventQueue()
+        queue.advance_to(10.0)
+        assert queue.now == 10.0
+
+    def test_advance_to_backwards_rejected(self):
+        queue = EventQueue()
+        queue.advance_to(10.0)
+        with pytest.raises(ValueError):
+            queue.advance_to(5.0)
+
+    def test_drain_yields_all_events_in_order(self):
+        queue = EventQueue()
+        for t in (3.0, 1.0, 2.0):
+            queue.schedule(t, EventKind.CUSTOM, t)
+        assert [e.payload for e in queue.drain()] == [1.0, 2.0, 3.0]
+
+    def test_bool_reflects_pending_events(self):
+        queue = EventQueue()
+        assert not queue
+        queue.schedule(1.0, EventKind.CUSTOM)
+        assert queue
+
+
+class TestSimulationClock:
+    def test_mirrors_queue_time(self):
+        queue = EventQueue()
+        clock = SimulationClock(queue=queue)
+        queue.schedule(7.0, EventKind.CUSTOM)
+        queue.pop()
+        assert clock.now == 7.0
+
+
+class TestEventLoop:
+    def test_dispatches_to_registered_handler(self):
+        queue = EventQueue()
+        loop = EventLoop(queue)
+        seen = []
+        loop.on(EventKind.CUSTOM, lambda event: seen.append(event.payload))
+        queue.schedule(1.0, EventKind.CUSTOM, "a")
+        queue.schedule(2.0, EventKind.CUSTOM, "b")
+        processed = loop.run_all()
+        assert processed == 2
+        assert seen == ["a", "b"]
+
+    def test_run_until_stops_on_predicate(self):
+        queue = EventQueue()
+        loop = EventLoop(queue)
+        seen = []
+        loop.on(EventKind.CUSTOM, lambda event: seen.append(event.payload))
+        for t in range(1, 6):
+            queue.schedule(float(t), EventKind.CUSTOM, t)
+        loop.run_until(lambda: len(seen) >= 3)
+        assert len(seen) == 3
+
+    def test_unhandled_kinds_are_ignored(self):
+        queue = EventQueue()
+        loop = EventLoop(queue)
+        queue.schedule(1.0, EventKind.WORKER_RECRUITED)
+        assert loop.run_all() == 1

@@ -1,0 +1,125 @@
+"""Integration tests for the learning experiments (Figures 15-18, §6.6)."""
+
+import pytest
+
+from repro.experiments.end_to_end import (
+    headline_numbers,
+    run_end_to_end_experiment,
+    strategy_configs,
+)
+from repro.experiments.hybrid_learning import (
+    compare_strategies_on_dataset,
+    run_real_dataset_experiment,
+)
+from repro.experiments.summary import build_technique_matrix
+from repro.learning.datasets import make_cifar_like, make_classification
+
+
+@pytest.fixture(scope="module")
+def end_to_end_result():
+    return run_end_to_end_experiment(num_records=120, pool_size=8, seed=0)
+
+
+class TestHybridLearningExperiment:
+    def test_hybrid_competitive_on_easy_dataset(self):
+        dataset = make_classification(
+            n_samples=1200,
+            n_features=20,
+            n_informative=8,
+            class_sep=2.0,
+            flip_y=0.02,
+            seed=0,
+            name="easy",
+        )
+        cell = compare_strategies_on_dataset(dataset, num_records=100, pool_size=8, seed=0)
+        assert set(cell.curves) == {"active", "passive", "hybrid"}
+        assert cell.hybrid_competitive(tolerance=0.08)
+
+    def test_hybrid_competitive_on_hard_dataset(self):
+        dataset = make_cifar_like(n_samples=1500, n_features=128, seed=0)
+        cell = compare_strategies_on_dataset(dataset, num_records=100, pool_size=8, seed=0)
+        assert cell.hybrid_competitive(tolerance=0.08)
+
+    def test_real_dataset_grid_summary(self):
+        result = run_real_dataset_experiment(
+            num_records=80, pool_size=8, mnist_features=128, cifar_features=128, seed=0
+        )
+        rows = result.summary_rows()
+        assert len(rows) == 2
+        assert result.hybrid_always_competitive(tolerance=0.10)
+
+    def test_curves_track_wall_clock(self):
+        dataset = make_cifar_like(n_samples=1200, n_features=64, seed=1)
+        cell = compare_strategies_on_dataset(dataset, num_records=60, pool_size=6, seed=1)
+        for curve in cell.curves.values():
+            times = curve.times()
+            assert (times[1:] >= times[:-1]).all()
+
+
+class TestEndToEndExperiment:
+    def test_three_strategies_per_dataset(self, end_to_end_result):
+        for comparison in end_to_end_result.comparisons:
+            assert set(comparison.runs) == {"base_nr", "base_r", "clamshell"}
+
+    def test_clamshell_throughput_beats_base_nr(self, end_to_end_result):
+        for comparison in end_to_end_result.comparisons:
+            assert comparison.throughput_speedup() > 2.0
+
+    def test_clamshell_reduces_batch_variance(self, end_to_end_result):
+        for comparison in end_to_end_result.comparisons:
+            assert comparison.variance_reduction() > 1.5
+
+    def test_clamshell_curve_dominates(self, end_to_end_result):
+        for comparison in end_to_end_result.comparisons:
+            assert comparison.clamshell_dominates(tolerance=0.06)
+
+    def test_time_to_accuracy_rows_cover_thresholds(self, end_to_end_result):
+        comparison = end_to_end_result.comparisons[0]
+        rows = comparison.time_to_accuracy_rows((0.5, 0.6))
+        assert len(rows) == 2
+        assert all(len(row) == 4 for row in rows)
+
+    def test_headline_numbers_structure(self, end_to_end_result):
+        numbers = headline_numbers(end_to_end_result.comparisons[0])
+        rows = numbers.rows()
+        assert len(rows) == 5
+        assert numbers.throughput_speedup > 1.0
+
+    def test_strategy_configs_differ(self):
+        configs = strategy_configs(pool_size=10)
+        assert not configs["base_nr"].use_retainer_pool
+        assert configs["base_r"].use_retainer_pool
+        assert configs["clamshell"].straggler_mitigation
+
+    def test_by_dataset_lookup(self, end_to_end_result):
+        name = end_to_end_result.comparisons[0].dataset_name
+        assert end_to_end_result.by_dataset(name) is end_to_end_result.comparisons[0]
+        with pytest.raises(KeyError):
+            end_to_end_result.by_dataset("nonexistent")
+
+
+class TestTechniqueMatrix:
+    def test_matrix_matches_table2_shape(self):
+        matrix = build_technique_matrix(
+            num_tasks=30, pool_size=10, num_learning_records=60, seed=0
+        )
+        assert {impact.technique for impact in matrix.rows_data} == {
+            "straggler",
+            "pool",
+            "hybrid",
+        }
+        straggler = matrix.by_technique("straggler")
+        assert straggler.improves_mean_latency
+        assert straggler.reduces_variance
+        assert straggler.increases_cost
+        hybrid = matrix.by_technique("hybrid")
+        assert hybrid.generality == "AL"
+
+    def test_rows_render(self):
+        matrix = build_technique_matrix(
+            num_tasks=30, pool_size=10, num_learning_records=60, seed=0
+        )
+        rows = matrix.rows()
+        assert len(rows) == 3
+        with pytest.raises(KeyError):
+            matrix.by_technique("unknown")

@@ -1,0 +1,104 @@
+"""Tests for the extension experiments and the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.experiments.extensions import (
+    AgreementQualityObjective,
+    accuracy_population,
+    run_quality_maintenance_experiment,
+    run_reweighting_ablation,
+)
+from repro.crowd.worker import WorkerObservations
+
+
+class TestAgreementQualityObjective:
+    def test_needs_two_comparisons(self):
+        objective = AgreementQualityObjective()
+        objective.record_vote(1, True)
+        assert objective.disagreement_rate(1) is None
+        objective.record_vote(1, False)
+        assert objective.disagreement_rate(1) == pytest.approx(0.5)
+
+    def test_callable_uses_worker_id(self):
+        objective = AgreementQualityObjective()
+        for _ in range(4):
+            objective.record_vote(7, False)
+        observations = WorkerObservations(worker_id=7)
+        assert objective(observations) == pytest.approx(1.0)
+
+    def test_unknown_worker_returns_none(self):
+        assert AgreementQualityObjective()(WorkerObservations(worker_id=3)) is None
+
+
+class TestAccuracyPopulation:
+    def test_accuracies_span_a_wide_range(self):
+        population = accuracy_population(seed=0)
+        accuracies = [w.accuracy for w in population.profiles]
+        assert min(accuracies) < 0.7
+        assert max(accuracies) > 0.9
+
+    def test_latencies_are_tight(self):
+        population = accuracy_population(seed=0)
+        latencies = [w.mean_latency for w in population.profiles]
+        assert max(latencies) <= 8.0
+        assert min(latencies) >= 4.0
+
+
+class TestQualityMaintenanceExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_quality_maintenance_experiment(num_tasks=60, pool_size=10, seed=0)
+
+    def test_all_three_pools_ran(self, result):
+        assert set(result.label_accuracy) == {
+            "unmaintained",
+            "latency-maintained",
+            "quality-maintained",
+        }
+
+    def test_quality_maintenance_evicts_workers(self, result):
+        assert result.replacements["quality-maintained"] >= 1
+
+    def test_quality_maintenance_does_not_hurt_accuracy(self, result):
+        assert (
+            result.label_accuracy["quality-maintained"]
+            >= result.label_accuracy["unmaintained"] - 0.05
+        )
+
+    def test_rows_render(self, result):
+        rows = result.rows()
+        assert len(rows) == 3
+        assert all(len(row) == 4 for row in rows)
+
+
+class TestReweightingAblation:
+    def test_sweep_covers_all_boosts(self):
+        result = run_reweighting_ablation(boosts=(0.5, 1.0, 2.0), num_records=60, seed=0)
+        assert set(result.accuracies) == {0.5, 1.0, 2.0}
+        assert all(0.4 <= acc <= 1.0 for acc in result.accuracies.values())
+        assert result.best_boost() in {0.5, 1.0, 2.0}
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in output
+
+    def test_parser_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "not-an-experiment"])
+
+    def test_run_straggler_experiment(self, capsys):
+        assert main(["run", "straggler", "--num-records", "150", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "straggler" in output.lower()
+        assert "speedup" in output
+
+    def test_run_termest_experiment(self, capsys):
+        assert main(["run", "termest", "--num-records", "150"]) == 0
+        output = capsys.readouterr().out
+        assert "TermEst" in output

@@ -1,0 +1,164 @@
+"""End-to-end integration tests across the whole system.
+
+These exercise the public API the way the examples and benchmarks do, and
+check cross-cutting invariants (accounting consistency, determinism, and the
+direction of the paper's headline comparisons).
+"""
+
+import pytest
+
+from repro import (
+    CLAMShell,
+    baseline_no_retainer,
+    baseline_retainer,
+    full_clamshell,
+    make_cifar_like,
+    make_classification,
+)
+from repro.core.config import CLAMShellConfig, LearningStrategy
+from repro.core.metrics import CostModel
+from repro.crowd.worker import WorkerPopulation, WorkerProfile
+from repro.experiments.common import make_labeling_workload, run_configuration
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_classification(
+        n_samples=600, n_features=24, n_informative=10, class_sep=1.8, flip_y=0.02, seed=2
+    )
+
+
+def make_population(seed: int = 0) -> WorkerPopulation:
+    """A fresh mixed-speed population.
+
+    Sampling from a population is stateful (each recruit advances its RNG),
+    so comparisons that want identical pools must build a fresh population
+    per run rather than sharing one object.
+    """
+    profiles = []
+    for index in range(30):
+        mean = 3.0 + (index % 6) * 5.0
+        profiles.append(
+            WorkerProfile(worker_id=index, mean_latency=mean, latency_std=0.3 * mean, accuracy=0.92)
+        )
+    return WorkerPopulation(profiles=profiles, seed=seed)
+
+
+@pytest.fixture
+def population():
+    return make_population()
+
+
+class TestFullSystemRuns:
+    def test_clamshell_run_is_deterministic_for_fixed_seed(self, dataset):
+        config = full_clamshell(pool_size=6, seed=11, candidate_sample_size=100)
+        first = CLAMShell(config=config, dataset=dataset, population=make_population()).run(40)
+        second = CLAMShell(config=config, dataset=dataset, population=make_population()).run(40)
+        assert first.metrics.total_wall_clock == pytest.approx(second.metrics.total_wall_clock)
+        assert first.labels == second.labels
+
+    def test_different_seeds_give_different_runs(self, dataset, population):
+        a = CLAMShell(
+            config=full_clamshell(pool_size=6, seed=1), dataset=dataset, population=population
+        ).run(30)
+        b = CLAMShell(
+            config=full_clamshell(pool_size=6, seed=2), dataset=dataset, population=population
+        ).run(30)
+        assert a.metrics.total_wall_clock != pytest.approx(b.metrics.total_wall_clock)
+
+    def test_clamshell_faster_than_base_nr(self, dataset):
+        clamshell = CLAMShell(
+            config=full_clamshell(pool_size=8, seed=3, candidate_sample_size=100),
+            dataset=dataset,
+            population=make_population(),
+        ).run(60)
+        base_nr = CLAMShell(
+            config=baseline_no_retainer(pool_size=8, seed=3),
+            dataset=dataset,
+            population=make_population(),
+        ).run(60)
+        assert clamshell.metrics.total_wall_clock < base_nr.metrics.total_wall_clock
+
+    def test_clamshell_faster_than_base_r(self, dataset):
+        clamshell = CLAMShell(
+            config=full_clamshell(pool_size=8, seed=4, candidate_sample_size=100),
+            dataset=dataset,
+            population=make_population(),
+        ).run(60)
+        base_r = CLAMShell(
+            config=baseline_retainer(pool_size=8, seed=4, candidate_sample_size=100),
+            dataset=dataset,
+            population=make_population(),
+        ).run(60)
+        assert clamshell.metrics.total_wall_clock < base_r.metrics.total_wall_clock
+
+    def test_labels_are_mostly_correct(self, dataset, population):
+        result = CLAMShell(
+            config=full_clamshell(pool_size=6, seed=5, candidate_sample_size=100),
+            dataset=dataset,
+            population=population,
+        ).run(50)
+        correct = sum(
+            1 for record_id, label in result.labels.items() if label == int(dataset.y[record_id])
+        )
+        assert correct / len(result.labels) > 0.75
+
+
+class TestAccountingConsistency:
+    def test_cost_matches_cost_model_recomputation(self, dataset, population):
+        config = full_clamshell(pool_size=6, seed=6, candidate_sample_size=100)
+        system = CLAMShell(config=config, dataset=dataset, population=population)
+        result = system.run(30)
+        platform = system.last_platform
+        assert platform is not None
+        recomputed = CostModel(rates=config.pay_rates).total_cost(platform)
+        assert result.total_cost == pytest.approx(recomputed)
+
+    def test_batch_latencies_sum_close_to_wall_clock(self, population):
+        workload = make_labeling_workload(num_records=40, seed=0)
+        config = CLAMShellConfig(
+            pool_size=5,
+            learning_strategy=LearningStrategy.NONE,
+            maintenance_threshold=None,
+            straggler_mitigation=False,
+            seed=0,
+        )
+        run = run_configuration(config, workload, population=population, num_records=40)
+        batches_total = run.result.metrics.batch_latencies().sum()
+        assert batches_total <= run.result.metrics.total_wall_clock + 1e-6
+
+    def test_every_labeled_record_was_requested(self, dataset, population):
+        result = CLAMShell(
+            config=full_clamshell(pool_size=6, seed=7, candidate_sample_size=100),
+            dataset=dataset,
+            population=population,
+        ).run(40)
+        train_ids = set(dataset.train_record_ids())
+        assert set(result.labels) <= train_ids
+
+    def test_quality_control_run_completes_with_redundancy(self, population):
+        workload = make_labeling_workload(num_records=20, seed=1)
+        config = CLAMShellConfig(
+            pool_size=6,
+            votes_required=3,
+            learning_strategy=LearningStrategy.NONE,
+            maintenance_threshold=None,
+            seed=0,
+        )
+        run = run_configuration(config, workload, population=population, num_records=20)
+        assert run.result.metrics.records_labeled == 20
+        for outcome in run.result.batch_outcomes:
+            for task in outcome.batch.tasks:
+                assert task.votes_received >= 3
+
+
+class TestHardDatasetBehaviour:
+    def test_cifar_like_accuracy_band(self, population):
+        dataset = make_cifar_like(n_samples=1200, n_features=128, seed=3)
+        result = CLAMShell(
+            config=full_clamshell(pool_size=8, seed=8, candidate_sample_size=150),
+            dataset=dataset,
+            population=population,
+        ).run(120)
+        assert result.final_accuracy is not None
+        assert 0.55 <= result.final_accuracy <= 0.95

@@ -1,0 +1,180 @@
+"""Unit tests for the LifeGuard per-batch scheduler."""
+
+import pytest
+
+from repro.core.config import StragglerRoutingPolicy
+from repro.core.lifeguard import LifeGuard
+from repro.core.maintainer import MaintenancePolicy, PoolMaintainer
+from repro.core.mitigator import StragglerMitigator
+from repro.crowd.platform import SimulatedCrowdPlatform
+from repro.crowd.tasks import Batch, TaskFactory
+from repro.crowd.worker import WorkerPopulation, WorkerProfile
+
+
+def build_platform(num_workers=5, mean_latencies=None, seed=0):
+    mean_latencies = mean_latencies or [5.0] * num_workers
+    profiles = [
+        WorkerProfile(worker_id=i, mean_latency=m, latency_std=0.5, accuracy=0.95)
+        for i, m in enumerate(mean_latencies)
+    ]
+    population = WorkerPopulation(profiles=profiles, seed=seed)
+    platform = SimulatedCrowdPlatform(population, seed=seed)
+    platform.initialize_pool(num_workers)
+    return platform
+
+
+def build_batch(num_tasks, records_per_task=1, votes_required=1):
+    factory = TaskFactory(records_per_task=records_per_task, votes_required=votes_required)
+    record_ids = list(range(num_tasks * records_per_task))
+    tasks = factory.build_tasks(record_ids, [1] * len(record_ids))
+    return Batch(batch_id=0, tasks=tasks)
+
+
+def lifeguard_for(platform, mitigation=True, maintainer=None, **kwargs):
+    mitigator = StragglerMitigator(
+        enabled=mitigation, policy=StragglerRoutingPolicy.RANDOM, seed=0
+    )
+    return LifeGuard(platform, mitigator, maintainer, **kwargs)
+
+
+class TestBasicBatch:
+    def test_batch_completes_with_all_labels(self):
+        platform = build_platform()
+        guard = lifeguard_for(platform)
+        batch = build_batch(num_tasks=10)
+        outcome = guard.run_batch(batch, batch_index=0)
+        assert batch.is_complete
+        assert len(outcome.labels) == 10
+        assert outcome.batch_latency > 0
+        assert len(outcome.task_latencies) == 10
+
+    def test_clock_advances_to_completion(self):
+        platform = build_platform()
+        guard = lifeguard_for(platform)
+        guard.run_batch(build_batch(5), batch_index=0)
+        assert platform.now > 0
+
+    def test_multi_record_tasks_produce_labels_per_record(self):
+        platform = build_platform()
+        guard = lifeguard_for(platform)
+        outcome = guard.run_batch(build_batch(num_tasks=4, records_per_task=3))
+        assert len(outcome.labels) == 12
+
+    def test_completion_times_monotone(self):
+        platform = build_platform()
+        guard = lifeguard_for(platform)
+        outcome = guard.run_batch(build_batch(10))
+        times = [t for t, _ in outcome.completion_times]
+        assert times == sorted(times)
+
+    def test_accurate_workers_produce_mostly_correct_labels(self):
+        platform = build_platform(num_workers=5)
+        guard = lifeguard_for(platform)
+        outcome = guard.run_batch(build_batch(num_tasks=40))
+        correct = sum(1 for label in outcome.labels.values() if label == 1)
+        assert correct / len(outcome.labels) > 0.8
+
+    def test_consecutive_batches_share_pool(self):
+        platform = build_platform()
+        guard = lifeguard_for(platform)
+        first = guard.run_batch(build_batch(5), batch_index=0)
+        second_batch = build_batch(5)
+        second = guard.run_batch(second_batch, batch_index=1)
+        assert second.dispatched_at >= first.completed_at
+
+
+class TestStragglerMitigationBehaviour:
+    def test_mitigation_beats_no_mitigation_with_one_slow_worker(self):
+        latencies = [3.0, 3.0, 3.0, 3.0, 120.0]
+        with_mitigation = lifeguard_for(build_platform(5, latencies, seed=1), mitigation=True)
+        outcome_on = with_mitigation.run_batch(build_batch(5))
+        without_mitigation = lifeguard_for(build_platform(5, latencies, seed=1), mitigation=False)
+        outcome_off = without_mitigation.run_batch(build_batch(5))
+        assert outcome_on.batch_latency < outcome_off.batch_latency
+
+    def test_mitigation_creates_terminated_assignments(self):
+        latencies = [3.0, 3.0, 3.0, 3.0, 120.0]
+        platform = build_platform(5, latencies, seed=1)
+        guard = lifeguard_for(platform, mitigation=True)
+        outcome = guard.run_batch(build_batch(5))
+        assert outcome.assignments_terminated >= 1
+        assert outcome.assignments_started > 5
+
+    def test_no_mitigation_starts_exactly_one_assignment_per_task(self):
+        platform = build_platform(5, seed=2)
+        guard = lifeguard_for(platform, mitigation=False)
+        outcome = guard.run_batch(build_batch(5))
+        assert outcome.assignments_started == 5
+        assert outcome.assignments_terminated == 0
+
+    def test_batch_larger_than_pool_completes(self):
+        platform = build_platform(3)
+        guard = lifeguard_for(platform, mitigation=True)
+        outcome = guard.run_batch(build_batch(12))
+        assert len(outcome.labels) == 12
+
+
+class TestQualityControlledBatches:
+    def test_votes_required_collects_multiple_answers(self):
+        platform = build_platform(5)
+        guard = lifeguard_for(platform, mitigation=True)
+        batch = build_batch(num_tasks=3, votes_required=3)
+        outcome = guard.run_batch(batch)
+        assert all(task.votes_received >= 3 for task in batch.tasks)
+        assert len(outcome.labels) == 3
+
+    def test_majority_vote_fixes_single_bad_answer(self):
+        platform = build_platform(5)
+        guard = lifeguard_for(platform, mitigation=True)
+        batch = build_batch(num_tasks=10, votes_required=3)
+        outcome = guard.run_batch(batch)
+        correct = sum(1 for label in outcome.labels.values() if label == 1)
+        assert correct / len(outcome.labels) >= 0.9
+
+
+class TestMaintenanceIntegration:
+    def test_maintainer_replaces_slow_workers_during_run(self):
+        latencies = [3.0, 3.0, 3.0, 60.0, 60.0]
+        platform = build_platform(5, latencies, seed=3)
+        platform.configure_reserve(3)
+        maintainer = PoolMaintainer(MaintenancePolicy(threshold=8.0, min_observations=1))
+        guard = lifeguard_for(platform, mitigation=False, maintainer=maintainer,
+                              pool_target_size=5)
+        guard.run_batch(build_batch(5), batch_index=0)
+        guard.run_batch(build_batch(5), batch_index=1)
+        assert len(maintainer.replacements) >= 1
+
+    def test_outcome_workers_replaced_counter(self):
+        latencies = [3.0, 3.0, 3.0, 60.0, 60.0]
+        platform = build_platform(5, latencies, seed=3)
+        platform.configure_reserve(3)
+        maintainer = PoolMaintainer(MaintenancePolicy(threshold=8.0, min_observations=1))
+        guard = lifeguard_for(platform, mitigation=False, maintainer=maintainer,
+                              pool_target_size=5)
+        guard.run_batch(build_batch(5), batch_index=0)
+        outcome = guard.run_batch(build_batch(5), batch_index=1)
+        assert outcome.workers_replaced >= 0
+
+
+class TestOutcomeDetails:
+    def test_assignment_records_cover_all_resolved_assignments(self):
+        platform = build_platform(5)
+        guard = lifeguard_for(platform, mitigation=True)
+        outcome = guard.run_batch(build_batch(8))
+        assert len(outcome.assignment_records) == outcome.assignments_started
+        assert all(r.ended_at >= r.started_at for r in outcome.assignment_records)
+
+    def test_mean_pool_latency_positive(self):
+        platform = build_platform(5)
+        guard = lifeguard_for(platform)
+        outcome = guard.run_batch(build_batch(5))
+        assert outcome.mean_pool_latency is not None
+        assert outcome.mean_pool_latency > 0
+
+    def test_stall_raises_runtime_error(self):
+        """A batch that can never finish (more votes than workers) fails loudly."""
+        platform = build_platform(2)
+        guard = lifeguard_for(platform, mitigation=True)
+        batch = build_batch(num_tasks=1, votes_required=3)
+        with pytest.raises(RuntimeError):
+            guard.run_batch(batch)

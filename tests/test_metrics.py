@@ -1,0 +1,124 @@
+"""Unit tests for latency/cost metrics and the Problem-1 objective."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PayRates
+from repro.core.metrics import (
+    BatchMetrics,
+    CostModel,
+    RunMetrics,
+    crowd_labeling_objective,
+    speedup_factor,
+    variance_reduction_factor,
+)
+from repro.crowd.platform import SimulatedCrowdPlatform
+
+
+def make_batch(index=0, start=0.0, end=10.0, latencies=(3.0, 7.0, 10.0)):
+    return BatchMetrics(
+        batch_index=index,
+        dispatched_at=start,
+        completed_at=end,
+        num_tasks=len(latencies),
+        num_records=len(latencies),
+        task_latencies=list(latencies),
+    )
+
+
+class TestCostModel:
+    def test_waiting_cost_per_minute(self):
+        model = CostModel(PayRates(waiting_per_minute=0.06, per_record=0.0))
+        assert model.waiting_cost(600.0) == pytest.approx(0.60)
+
+    def test_labeling_cost_per_record(self):
+        model = CostModel(PayRates(waiting_per_minute=0.0, per_record=0.02))
+        assert model.labeling_cost(50) == pytest.approx(1.0)
+
+    def test_total_cost_counts_terminated_work(self, small_population):
+        platform = SimulatedCrowdPlatform(small_population, seed=0)
+        platform.initialize_pool(2)
+        from repro.crowd.tasks import Task
+
+        task = Task(task_id=0, record_ids=[0], true_labels=[1])
+        a1 = platform.start_assignment(task, platform.pool.worker_ids[0])
+        platform.terminate_assignment(a1)
+        platform.settle()
+        model = CostModel()
+        assert model.total_cost(platform) > 0
+
+
+class TestBatchMetrics:
+    def test_latency_and_stats(self):
+        batch = make_batch()
+        assert batch.batch_latency == pytest.approx(10.0)
+        assert batch.task_latency_mean == pytest.approx(np.mean([3.0, 7.0, 10.0]))
+        assert batch.task_latency_std == pytest.approx(np.std([3.0, 7.0, 10.0], ddof=1))
+
+    def test_std_zero_for_single_task(self):
+        batch = make_batch(latencies=(5.0,))
+        assert batch.task_latency_std == 0.0
+
+
+class TestRunMetrics:
+    def test_aggregations(self):
+        metrics = RunMetrics()
+        metrics.add_batch(make_batch(0, 0.0, 10.0))
+        metrics.add_batch(make_batch(1, 10.0, 30.0))
+        assert metrics.num_batches == 2
+        assert metrics.mean_batch_latency() == pytest.approx(15.0)
+        assert metrics.batch_latency_std() == pytest.approx(np.std([10.0, 20.0], ddof=1))
+        assert len(metrics.task_latencies()) == 6
+
+    def test_throughput(self):
+        metrics = RunMetrics()
+        metrics.records_labeled = 100
+        metrics.total_wall_clock = 50.0
+        assert metrics.throughput_labels_per_second() == pytest.approx(2.0)
+
+    def test_throughput_zero_wall_clock(self):
+        assert RunMetrics().throughput_labels_per_second() == 0.0
+
+    def test_labels_over_time_passthrough(self):
+        metrics = RunMetrics()
+        metrics.labels_per_second_curve = [(1.0, 5), (2.0, 10)]
+        assert metrics.labels_over_time() == [(1.0, 5), (2.0, 10)]
+
+
+class TestObjective:
+    def test_weighted_sum(self):
+        objective = crowd_labeling_objective(100.0, 10.0, beta=0.9)
+        assert objective.weighted_sum == pytest.approx(0.9 * 100 + 0.1 * 10)
+        assert objective.paper_metric == pytest.approx(1.0 / objective.weighted_sum)
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            crowd_labeling_objective(1.0, 1.0, beta=2.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            crowd_labeling_objective(-1.0, 1.0, beta=0.5)
+
+    def test_zero_denominator_gives_infinity(self):
+        assert crowd_labeling_objective(0.0, 0.0, beta=0.5).paper_metric == float("inf")
+
+
+class TestRatios:
+    def test_variance_reduction(self):
+        baseline = [10.0, 50.0, 90.0]
+        optimized = [10.0, 11.0, 12.0]
+        assert variance_reduction_factor(baseline, optimized) > 1.0
+
+    def test_variance_reduction_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            variance_reduction_factor([1.0], [1.0, 2.0])
+
+    def test_variance_reduction_zero_optimized_std(self):
+        assert variance_reduction_factor([1.0, 5.0], [2.0, 2.0]) == float("inf")
+
+    def test_speedup_factor(self):
+        assert speedup_factor(100.0, 25.0) == pytest.approx(4.0)
+
+    def test_speedup_factor_invalid(self):
+        with pytest.raises(ValueError):
+            speedup_factor(10.0, 0.0)

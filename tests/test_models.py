@@ -1,0 +1,156 @@
+"""Unit tests for the learning models."""
+
+import numpy as np
+import pytest
+
+from repro.learning.datasets import make_classification
+from repro.learning.models import (
+    LogisticRegressionModel,
+    MajorityClassModel,
+    uncertainty_entropy,
+    uncertainty_least_confidence,
+    uncertainty_margin,
+)
+
+
+class TestLogisticRegression:
+    def test_unfitted_model_rejects_prediction(self):
+        model = LogisticRegressionModel()
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 3)))
+
+    def test_learns_linearly_separable_data(self, rng):
+        X = np.vstack([rng.normal(-2, 0.5, size=(100, 2)), rng.normal(2, 0.5, size=(100, 2))])
+        y = np.array([0] * 100 + [1] * 100)
+        model = LogisticRegressionModel().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_multiclass(self, rng):
+        centers = np.array([[0, 0], [6, 0], [0, 6]])
+        X = np.vstack([rng.normal(c, 0.6, size=(80, 2)) for c in centers])
+        y = np.repeat([0, 1, 2], 80)
+        model = LogisticRegressionModel().fit(X, y)
+        assert model.score(X, y) > 0.9
+
+    def test_predict_proba_rows_sum_to_one(self, tiny_dataset):
+        model = LogisticRegressionModel().fit(tiny_dataset.X_train, tiny_dataset.y_train)
+        probs = model.predict_proba(tiny_dataset.X_test)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_fixed_num_classes_allows_unseen_labels(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 0, 0])
+        model = LogisticRegressionModel(num_classes=3).fit(X, y)
+        probs = model.predict_proba(X)
+        assert probs.shape == (3, 3)
+
+    def test_label_outside_classes_rejected(self):
+        X = np.zeros((3, 2))
+        y = np.array([0, 1, 5])
+        with pytest.raises(ValueError):
+            LogisticRegressionModel(num_classes=3).fit(X, y)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionModel().fit(np.zeros((0, 2)), np.array([], dtype=int))
+
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionModel().fit(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_sample_weights_change_fit(self, rng):
+        X = np.vstack([rng.normal(-1, 1.0, size=(50, 2)), rng.normal(1, 1.0, size=(50, 2))])
+        y = np.array([0] * 50 + [1] * 50)
+        weights = np.ones(100)
+        weights[:50] = 100.0
+        unweighted = LogisticRegressionModel().fit(X, y)
+        weighted = LogisticRegressionModel().fit(X, y, sample_weight=weights)
+        class0 = X[:50]
+        assert weighted.score(class0, y[:50]) >= unweighted.score(class0, y[:50])
+
+    def test_negative_sample_weights_rejected(self):
+        X = np.zeros((2, 2))
+        y = np.array([0, 1])
+        with pytest.raises(ValueError):
+            LogisticRegressionModel().fit(X, y, sample_weight=np.array([-1.0, 1.0]))
+
+    def test_all_zero_sample_weights_rejected(self):
+        X = np.zeros((2, 2))
+        y = np.array([0, 1])
+        with pytest.raises(ValueError):
+            LogisticRegressionModel().fit(X, y, sample_weight=np.zeros(2))
+
+    def test_regularization_shrinks_weights(self, tiny_dataset):
+        light = LogisticRegressionModel(regularization=0.01).fit(
+            tiny_dataset.X_train, tiny_dataset.y_train
+        )
+        heavy = LogisticRegressionModel(regularization=100.0).fit(
+            tiny_dataset.X_train, tiny_dataset.y_train
+        )
+        assert np.linalg.norm(heavy._weights) < np.linalg.norm(light._weights)
+
+    def test_clone_is_unfitted_with_same_hyperparameters(self):
+        model = LogisticRegressionModel(regularization=3.0, max_iter=50, num_classes=4)
+        clone = model.clone()
+        assert not clone.is_fitted
+        assert clone.regularization == 3.0
+        assert clone.num_classes == 4
+
+    def test_generalizes_to_test_split(self, tiny_dataset):
+        model = LogisticRegressionModel().fit(tiny_dataset.X_train, tiny_dataset.y_train)
+        assert model.score(tiny_dataset.X_test, tiny_dataset.y_test) > 0.85
+
+
+class TestMajorityClassModel:
+    def test_predicts_majority(self):
+        X = np.zeros((5, 2))
+        y = np.array([1, 1, 1, 0, 0])
+        model = MajorityClassModel().fit(X, y)
+        assert (model.predict(X) == 1).all()
+
+    def test_proba_matches_proportions(self):
+        X = np.zeros((4, 2))
+        y = np.array([0, 1, 1, 1])
+        model = MajorityClassModel().fit(X, y)
+        probs = model.predict_proba(X)
+        assert probs[0, 1] == pytest.approx(0.75)
+
+    def test_unfitted_rejects_prediction(self):
+        with pytest.raises(ValueError):
+            MajorityClassModel().predict(np.zeros((1, 2)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            MajorityClassModel().fit(np.zeros((0, 2)), np.array([], dtype=int))
+
+    def test_score_is_majority_fraction(self):
+        X = np.zeros((4, 1))
+        y = np.array([0, 0, 0, 1])
+        model = MajorityClassModel().fit(X, y)
+        assert model.score(X, y) == pytest.approx(0.75)
+
+
+class TestUncertaintyMeasures:
+    def test_margin_highest_for_uniform(self):
+        probs = np.array([[0.5, 0.5], [0.9, 0.1]])
+        scores = uncertainty_margin(probs)
+        assert scores[0] > scores[1]
+
+    def test_entropy_highest_for_uniform(self):
+        probs = np.array([[0.5, 0.5], [0.99, 0.01]])
+        scores = uncertainty_entropy(probs)
+        assert scores[0] > scores[1]
+
+    def test_least_confidence_highest_for_uniform(self):
+        probs = np.array([[0.5, 0.5], [0.8, 0.2]])
+        scores = uncertainty_least_confidence(probs)
+        assert scores[0] > scores[1]
+
+    def test_margin_requires_two_classes(self):
+        with pytest.raises(ValueError):
+            uncertainty_margin(np.array([[1.0]]))
+
+    def test_entropy_non_negative(self, rng):
+        probs = rng.dirichlet(np.ones(4), size=50)
+        assert (uncertainty_entropy(probs) >= 0).all()

@@ -1,0 +1,139 @@
+"""Unit tests for the retainer pool."""
+
+import pytest
+
+from repro.crowd.pool import RetainerPool, SlotState, pool_from_workers
+from repro.crowd.worker import WorkerProfile
+
+
+def worker(worker_id, mean=5.0):
+    return WorkerProfile(worker_id=worker_id, mean_latency=mean, latency_std=1.0, accuracy=0.9)
+
+
+class TestMembership:
+    def test_add_and_contains(self):
+        pool = RetainerPool()
+        pool.add_worker(worker(1), now=0.0)
+        assert 1 in pool
+        assert pool.size == 1
+
+    def test_duplicate_add_rejected(self):
+        pool = RetainerPool()
+        pool.add_worker(worker(1), now=0.0)
+        with pytest.raises(ValueError):
+            pool.add_worker(worker(1), now=1.0)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            RetainerPool().remove_worker(9, now=0.0)
+
+    def test_remove_moves_to_departed(self):
+        pool = RetainerPool()
+        pool.add_worker(worker(1), now=0.0)
+        pool.remove_worker(1, now=5.0)
+        assert 1 not in pool
+        assert len(pool.departed_slots()) == 1
+
+    def test_pool_from_workers(self):
+        pool = pool_from_workers([worker(1), worker(2)])
+        assert pool.size == 2
+
+
+class TestAvailability:
+    def test_new_workers_are_available(self):
+        pool = pool_from_workers([worker(1)])
+        assert pool.num_available() == 1
+
+    def test_mark_active_and_available_cycle(self):
+        pool = pool_from_workers([worker(1)])
+        pool.mark_active(1, assignment_id=7, now=10.0)
+        assert pool.slot(1).state == SlotState.ACTIVE
+        assert pool.slot(1).current_assignment_id == 7
+        pool.mark_available(1, now=20.0, worked_seconds=10.0, completed=True)
+        assert pool.slot(1).is_available
+        assert pool.slot(1).tasks_completed == 1
+
+    def test_mark_active_twice_rejected(self):
+        pool = pool_from_workers([worker(1)])
+        pool.mark_active(1, 0, now=0.0)
+        with pytest.raises(ValueError):
+            pool.mark_active(1, 1, now=1.0)
+
+    def test_mark_available_when_not_active_rejected(self):
+        pool = pool_from_workers([worker(1)])
+        with pytest.raises(ValueError):
+            pool.mark_available(1, now=1.0, worked_seconds=1.0, completed=True)
+
+    def test_termination_does_not_increment_completed(self):
+        pool = pool_from_workers([worker(1)])
+        pool.mark_active(1, 0, now=0.0)
+        pool.mark_available(1, now=5.0, worked_seconds=5.0, completed=False)
+        assert pool.slot(1).tasks_completed == 0
+
+
+class TestAccounting:
+    def test_waiting_time_accrues_until_activation(self):
+        pool = pool_from_workers([worker(1)], now=0.0)
+        pool.mark_active(1, 0, now=30.0)
+        assert pool.slot(1).waiting_seconds == pytest.approx(30.0)
+
+    def test_waiting_time_resumes_after_availability(self):
+        pool = pool_from_workers([worker(1)], now=0.0)
+        pool.mark_active(1, 0, now=10.0)
+        pool.mark_available(1, now=20.0, worked_seconds=10.0, completed=True)
+        pool.settle_waiting(now=35.0)
+        assert pool.slot(1).waiting_seconds == pytest.approx(10.0 + 15.0)
+
+    def test_working_seconds_accumulate(self):
+        pool = pool_from_workers([worker(1)])
+        pool.mark_active(1, 0, now=0.0)
+        pool.mark_available(1, now=12.0, worked_seconds=12.0, completed=True)
+        assert pool.total_working_seconds() == pytest.approx(12.0)
+
+    def test_departed_waiting_included_in_totals(self):
+        pool = pool_from_workers([worker(1)], now=0.0)
+        pool.remove_worker(1, now=25.0)
+        assert pool.total_waiting_seconds() == pytest.approx(25.0)
+
+    def test_settle_waiting_idempotent_at_same_time(self):
+        pool = pool_from_workers([worker(1)], now=0.0)
+        pool.settle_waiting(now=10.0)
+        pool.settle_waiting(now=10.0)
+        assert pool.total_waiting_seconds() == pytest.approx(10.0)
+
+
+class TestObservations:
+    def test_record_completion_feeds_observations(self):
+        pool = pool_from_workers([worker(1)])
+        pool.record_completion(1, 4.0)
+        pool.record_completion(1, 6.0)
+        assert pool.observations(1).empirical_mean_latency() == pytest.approx(5.0)
+
+    def test_record_termination_tracks_terminator(self):
+        pool = pool_from_workers([worker(1)])
+        pool.record_termination(1, terminator_latency=2.0)
+        assert pool.observations(1).terminated_count == 1
+        assert pool.observations(1).terminator_latencies == [2.0]
+
+    def test_records_for_unknown_workers_ignored(self):
+        pool = RetainerPool()
+        pool.record_completion(99, 5.0)
+        pool.record_termination(99)
+        assert pool.all_observations() == {}
+
+    def test_mean_observed_latency(self):
+        pool = pool_from_workers([worker(1), worker(2)])
+        pool.record_completion(1, 4.0)
+        pool.record_completion(2, 8.0)
+        assert pool.mean_observed_latency() == pytest.approx(6.0)
+
+    def test_mean_observed_latency_none_without_data(self):
+        assert pool_from_workers([worker(1)]).mean_observed_latency() is None
+
+    def test_mean_true_latency(self):
+        pool = pool_from_workers([worker(1, mean=4.0), worker(2, mean=8.0)])
+        assert pool.mean_true_latency() == pytest.approx(6.0)
+
+    def test_mean_true_latency_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            RetainerPool().mean_true_latency()

@@ -1,0 +1,152 @@
+"""Unit tests for quality control: voting and worker-accuracy estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.quality import (
+    VoteAggregator,
+    WorkerQualityEstimator,
+    inter_worker_agreement,
+    majority_vote,
+    votes_needed,
+    weighted_vote,
+)
+
+
+class TestMajorityVote:
+    def test_simple_majority(self):
+        assert majority_vote([1, 1, 0]) == 1
+
+    def test_tie_breaks_to_lowest(self):
+        assert majority_vote([1, 0]) == 0
+
+    def test_tie_breaks_to_first(self):
+        assert majority_vote([1, 0], tie_break="first") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            majority_vote([])
+
+    def test_invalid_tie_break_rejected(self):
+        with pytest.raises(ValueError):
+            majority_vote([1], tie_break="random")
+
+
+class TestWeightedVote:
+    def test_weights_override_counts(self):
+        assert weighted_vote([0, 1, 1], [10.0, 1.0, 1.0]) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_vote([0, 1], [1.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_vote([0], [-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_vote([], [])
+
+
+class TestVotesNeeded:
+    def test_counts_down(self):
+        assert votes_needed(3, 1) == 2
+
+    def test_never_negative(self):
+        assert votes_needed(3, 5) == 0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            votes_needed(0, 0)
+
+
+class TestInterWorkerAgreement:
+    def test_perfect_agreement(self):
+        labels = {1: {10: 0, 11: 1}, 2: {10: 0, 11: 1}}
+        agreement = inter_worker_agreement(labels)
+        assert agreement[1] == 1.0 and agreement[2] == 1.0
+
+    def test_disagreement_detected(self):
+        labels = {1: {10: 0, 11: 0}, 2: {10: 1, 11: 1}, 3: {10: 0, 11: 0}}
+        agreement = inter_worker_agreement(labels)
+        assert agreement[2] < agreement[1]
+
+    def test_no_overlap_gives_full_agreement(self):
+        labels = {1: {10: 0}, 2: {11: 1}}
+        agreement = inter_worker_agreement(labels)
+        assert agreement[1] == 1.0
+
+
+class TestWorkerQualityEstimator:
+    def _synthetic_votes(self, seed=0, num_records=60, accuracies=(0.95, 0.9, 0.55)):
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 2, size=num_records)
+        votes = {}
+        for record_id in range(num_records):
+            votes[record_id] = {}
+            for worker_id, accuracy in enumerate(accuracies):
+                if rng.random() < accuracy:
+                    votes[record_id][worker_id] = int(truth[record_id])
+                else:
+                    votes[record_id][worker_id] = int(1 - truth[record_id])
+        return truth, votes
+
+    def test_recovers_relative_worker_quality(self):
+        _, votes = self._synthetic_votes()
+        estimate = WorkerQualityEstimator(num_classes=2).estimate(votes)
+        assert estimate.worker_accuracy[0] > estimate.worker_accuracy[2]
+        assert estimate.worker_accuracy[1] > estimate.worker_accuracy[2]
+
+    def test_inferred_labels_mostly_correct(self):
+        truth, votes = self._synthetic_votes()
+        estimate = WorkerQualityEstimator(num_classes=2).estimate(votes)
+        inferred = np.array([estimate.record_labels[r] for r in range(len(truth))])
+        assert (inferred == truth).mean() > 0.85
+
+    def test_empty_votes_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerQualityEstimator(num_classes=2).estimate({})
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerQualityEstimator(num_classes=1)
+        with pytest.raises(ValueError):
+            WorkerQualityEstimator(num_classes=2, max_iterations=0)
+
+    def test_converges_and_reports_iterations(self):
+        _, votes = self._synthetic_votes()
+        estimate = WorkerQualityEstimator(num_classes=2).estimate(votes)
+        assert estimate.iterations >= 1
+        assert estimate.converged
+
+
+class TestVoteAggregator:
+    def test_consensus_majority(self):
+        aggregator = VoteAggregator(num_classes=2)
+        aggregator.add_vote(0, worker_id=1, label=1)
+        aggregator.add_vote(0, worker_id=2, label=1)
+        aggregator.add_vote(0, worker_id=3, label=0)
+        assert aggregator.consensus()[0] == 1
+
+    def test_consensus_weighted_by_accuracy(self):
+        aggregator = VoteAggregator(num_classes=2)
+        aggregator.add_vote(0, worker_id=1, label=1)
+        aggregator.add_vote(0, worker_id=2, label=0)
+        consensus = aggregator.consensus(worker_accuracy={1: 0.99, 2: 0.51})
+        assert consensus[0] == 1
+
+    def test_out_of_range_label_rejected(self):
+        with pytest.raises(ValueError):
+            VoteAggregator(num_classes=2).add_vote(0, 1, 5)
+
+    def test_estimate_quality_end_to_end(self):
+        rng = np.random.default_rng(0)
+        aggregator = VoteAggregator(num_classes=2)
+        for record_id in range(40):
+            truth = int(rng.integers(0, 2))
+            for worker_id, accuracy in enumerate((0.95, 0.9, 0.6)):
+                label = truth if rng.random() < accuracy else 1 - truth
+                aggregator.add_vote(record_id, worker_id, label)
+        estimate = aggregator.estimate_quality()
+        assert estimate.worker_accuracy[0] > estimate.worker_accuracy[2]

@@ -1,0 +1,77 @@
+"""Unit tests for decision-latency modelling and asynchronous retraining."""
+
+import pytest
+
+from repro.learning.learners import HybridLearner, PassiveLearner
+from repro.learning.retrainer import AsynchronousRetrainer, DecisionLatencyModel
+
+
+class TestDecisionLatencyModel:
+    def test_retrain_seconds_grow_with_labels(self):
+        model = DecisionLatencyModel(base_seconds=1.0, per_label_seconds=0.1)
+        assert model.retrain_seconds(0) == pytest.approx(1.0)
+        assert model.retrain_seconds(100) == pytest.approx(11.0)
+
+    def test_selection_seconds_grow_with_candidates(self):
+        model = DecisionLatencyModel(per_candidate_seconds=0.01)
+        assert model.selection_seconds(500) == pytest.approx(5.0)
+
+    def test_total(self):
+        model = DecisionLatencyModel(1.0, 0.1, 0.01)
+        assert model.total_seconds(10, 100) == pytest.approx(1.0 + 1.0 + 1.0)
+
+    def test_negative_constants_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionLatencyModel(base_seconds=-1.0)
+
+
+class TestAsynchronousRetrainer:
+    def test_synchronous_charges_full_latency(self, tiny_dataset):
+        learner = PassiveLearner(tiny_dataset, seed=0)
+        retrainer = AsynchronousRetrainer(
+            learner, DecisionLatencyModel(base_seconds=5.0), asynchronous=False
+        )
+        overhead = retrainer.decision_overhead(now=0.0, batch_duration=100.0)
+        assert overhead >= 5.0
+
+    def test_asynchronous_hides_latency_behind_batch(self, tiny_dataset):
+        learner = PassiveLearner(tiny_dataset, seed=0)
+        retrainer = AsynchronousRetrainer(
+            learner, DecisionLatencyModel(base_seconds=5.0), asynchronous=True
+        )
+        assert retrainer.decision_overhead(now=0.0, batch_duration=100.0) == 0.0
+
+    def test_asynchronous_charges_remainder_for_short_batches(self, tiny_dataset):
+        learner = PassiveLearner(tiny_dataset, seed=0)
+        retrainer = AsynchronousRetrainer(
+            learner,
+            DecisionLatencyModel(base_seconds=5.0, per_label_seconds=0.0, per_candidate_seconds=0.0),
+            asynchronous=True,
+        )
+        assert retrainer.decision_overhead(now=0.0, batch_duration=2.0) == pytest.approx(3.0)
+
+    def test_next_batch_returns_proposal_and_overhead(self, tiny_dataset):
+        learner = HybridLearner(tiny_dataset, seed=0)
+        retrainer = AsynchronousRetrainer(learner, asynchronous=True)
+        proposal, overhead = retrainer.next_batch(
+            now=0.0, batch_size=5, pool_size=10, batch_duration=0.0
+        )
+        assert proposal.size == 10
+        assert overhead >= 0.0
+        assert len(retrainer.history) == 1
+
+    def test_stale_proposal_drops_labeled_points(self, tiny_dataset):
+        learner = HybridLearner(tiny_dataset, seed=0)
+        retrainer = AsynchronousRetrainer(learner, asynchronous=True)
+        first, _ = retrainer.next_batch(now=0.0, batch_size=5, pool_size=10)
+        labels = {r: int(tiny_dataset.y[r]) for r in first.all_ids}
+        learner.incorporate_labels(labels, first)
+        second, _ = retrainer.next_batch(now=100.0, batch_size=5, pool_size=10, batch_duration=50.0)
+        assert not set(second.all_ids) & set(labels)
+        assert second.size == 10
+
+    def test_history_records_synchronicity(self, tiny_dataset):
+        learner = PassiveLearner(tiny_dataset, seed=0)
+        retrainer = AsynchronousRetrainer(learner, asynchronous=False)
+        retrainer.next_batch(now=0.0, batch_size=5, pool_size=5)
+        assert retrainer.history[0].synchronous

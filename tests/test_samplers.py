@@ -1,0 +1,124 @@
+"""Unit tests for point-selection samplers."""
+
+import numpy as np
+import pytest
+
+from repro.learning.models import LogisticRegressionModel
+from repro.learning.samplers import (
+    HybridSampler,
+    RandomSampler,
+    UncertaintySampler,
+    make_hybrid_sampler,
+)
+
+
+@pytest.fixture
+def fitted_model(tiny_dataset):
+    return LogisticRegressionModel().fit(tiny_dataset.X_train, tiny_dataset.y_train)
+
+
+class TestRandomSampler:
+    def test_selects_requested_count(self):
+        sampler = RandomSampler(seed=0)
+        chosen = sampler.select(list(range(100)), 10)
+        assert len(chosen) == 10
+        assert len(set(chosen)) == 10
+
+    def test_selects_all_when_count_exceeds_pool(self):
+        sampler = RandomSampler(seed=0)
+        assert sorted(sampler.select([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_zero_count_returns_empty(self):
+        assert RandomSampler().select([1, 2, 3], 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            RandomSampler().select([1], -1)
+
+    def test_empty_candidates(self):
+        assert RandomSampler().select([], 5) == []
+
+    def test_reproducible(self):
+        a = RandomSampler(seed=3).select(list(range(50)), 5)
+        b = RandomSampler(seed=3).select(list(range(50)), 5)
+        assert a == b
+
+
+class TestUncertaintySampler:
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(ValueError):
+            UncertaintySampler(measure="magic")
+
+    def test_invalid_candidate_sample_size_rejected(self):
+        with pytest.raises(ValueError):
+            UncertaintySampler(candidate_sample_size=0)
+
+    def test_falls_back_to_random_without_model(self, tiny_dataset):
+        sampler = UncertaintySampler(seed=0)
+        chosen = sampler.select(None, tiny_dataset.X, list(range(50)), 5)
+        assert len(chosen) == 5
+
+    def test_selects_most_uncertain(self, tiny_dataset, fitted_model):
+        sampler = UncertaintySampler(candidate_sample_size=10_000, seed=0)
+        candidates = tiny_dataset.train_record_ids()
+        chosen = sampler.select(fitted_model, tiny_dataset.X, candidates, 10)
+        probs = fitted_model.predict_proba(tiny_dataset.X[candidates])
+        margins = 1.0 - np.abs(probs[:, 0] - probs[:, 1])
+        chosen_margins = 1.0 - np.abs(
+            fitted_model.predict_proba(tiny_dataset.X[chosen])[:, 0]
+            - fitted_model.predict_proba(tiny_dataset.X[chosen])[:, 1]
+        )
+        # Every selected point should be at least as uncertain as the median candidate.
+        assert chosen_margins.min() >= np.median(margins)
+
+    def test_candidate_subsampling_limits_scored_pool(self, tiny_dataset, fitted_model):
+        sampler = UncertaintySampler(candidate_sample_size=5, seed=0)
+        chosen = sampler.select(
+            fitted_model, tiny_dataset.X, tiny_dataset.train_record_ids(), 5
+        )
+        assert len(chosen) == 5
+
+    def test_zero_count(self, tiny_dataset, fitted_model):
+        sampler = UncertaintySampler(seed=0)
+        assert sampler.select(fitted_model, tiny_dataset.X, [1, 2, 3], 0) == []
+
+    def test_each_measure_runs(self, tiny_dataset, fitted_model):
+        for measure in ("margin", "entropy", "least_confidence"):
+            sampler = UncertaintySampler(measure=measure, seed=0)
+            chosen = sampler.select(fitted_model, tiny_dataset.X, list(range(100)), 3)
+            assert len(chosen) == 3
+
+
+class TestHybridSampler:
+    def test_split_counts(self, tiny_dataset, fitted_model):
+        sampler = make_hybrid_sampler(seed=0)
+        active, passive = sampler.select(
+            fitted_model, tiny_dataset.X, tiny_dataset.train_record_ids(), 5, 15
+        )
+        assert len(active) == 5
+        assert len(passive) == 10
+
+    def test_active_and_passive_disjoint(self, tiny_dataset, fitted_model):
+        sampler = make_hybrid_sampler(seed=0)
+        active, passive = sampler.select(
+            fitted_model, tiny_dataset.X, tiny_dataset.train_record_ids(), 8, 20
+        )
+        assert not set(active) & set(passive)
+
+    def test_total_not_less_than_active_rejected(self, tiny_dataset, fitted_model):
+        sampler = make_hybrid_sampler(seed=0)
+        with pytest.raises(ValueError):
+            sampler.select(fitted_model, tiny_dataset.X, [1, 2, 3], 5, 3)
+
+    def test_cold_start_without_model(self, tiny_dataset):
+        sampler = make_hybrid_sampler(seed=0)
+        active, passive = sampler.select(
+            None, tiny_dataset.X, tiny_dataset.train_record_ids(), 4, 10
+        )
+        assert len(active) == 4
+        assert len(passive) == 6
+
+    def test_small_candidate_pool(self, tiny_dataset, fitted_model):
+        sampler = make_hybrid_sampler(seed=0)
+        active, passive = sampler.select(fitted_model, tiny_dataset.X, [1, 2, 3], 2, 10)
+        assert len(active) + len(passive) == 3

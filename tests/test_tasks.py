@@ -1,0 +1,223 @@
+"""Unit tests for tasks, assignments, and batches."""
+
+import pytest
+
+from repro.crowd.tasks import (
+    Assignment,
+    AssignmentStatus,
+    Batch,
+    Task,
+    TaskFactory,
+    TaskState,
+    flatten_labels,
+    group_into_batches,
+)
+
+
+def make_task(task_id=0, num_records=1, votes_required=1):
+    return Task(
+        task_id=task_id,
+        record_ids=list(range(num_records)),
+        true_labels=[0] * num_records,
+        votes_required=votes_required,
+    )
+
+
+def make_assignment(assignment_id=0, task_id=0, worker_id=0, started_at=0.0, duration=5.0):
+    return Assignment(
+        assignment_id=assignment_id,
+        task_id=task_id,
+        worker_id=worker_id,
+        started_at=started_at,
+        duration=duration,
+    )
+
+
+class TestAssignment:
+    def test_finishes_at(self):
+        assignment = make_assignment(started_at=2.0, duration=3.0)
+        assert assignment.finishes_at == pytest.approx(5.0)
+
+    def test_complete_sets_labels_and_time(self):
+        assignment = make_assignment()
+        assignment.complete(at=5.0, labels=[1])
+        assert assignment.status == AssignmentStatus.COMPLETED
+        assert assignment.labels == [1]
+        assert assignment.elapsed == pytest.approx(5.0)
+
+    def test_terminate_sets_time(self):
+        assignment = make_assignment(started_at=1.0)
+        assignment.terminate(at=4.0)
+        assert assignment.status == AssignmentStatus.TERMINATED
+        assert assignment.elapsed == pytest.approx(3.0)
+
+    def test_cannot_complete_twice(self):
+        assignment = make_assignment()
+        assignment.complete(at=5.0, labels=[1])
+        with pytest.raises(ValueError):
+            assignment.complete(at=6.0, labels=[0])
+
+    def test_cannot_terminate_completed(self):
+        assignment = make_assignment()
+        assignment.complete(at=5.0, labels=[1])
+        with pytest.raises(ValueError):
+            assignment.terminate(at=6.0)
+
+    def test_elapsed_none_while_active(self):
+        assert make_assignment().elapsed is None
+
+
+class TestTask:
+    def test_requires_records(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, record_ids=[], true_labels=[])
+
+    def test_record_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Task(task_id=0, record_ids=[1, 2], true_labels=[0])
+
+    def test_initial_state_unassigned(self):
+        assert make_task().state == TaskState.UNASSIGNED
+
+    def test_add_assignment_activates(self):
+        task = make_task()
+        task.add_assignment(make_assignment())
+        assert task.state == TaskState.ACTIVE
+
+    def test_completes_after_required_votes(self):
+        task = make_task(votes_required=2)
+        task.record_answer(worker_id=0, labels=[1], at=3.0)
+        assert not task.is_complete
+        task.record_answer(worker_id=1, labels=[0], at=5.0)
+        assert task.is_complete
+        assert task.completed_at == pytest.approx(5.0)
+
+    def test_answers_after_completion_rejected(self):
+        task = make_task()
+        task.record_answer(worker_id=0, labels=[1], at=1.0)
+        with pytest.raises(ValueError):
+            task.record_answer(worker_id=1, labels=[0], at=2.0)
+
+    def test_assignments_after_completion_rejected(self):
+        task = make_task()
+        task.record_answer(worker_id=0, labels=[1], at=1.0)
+        with pytest.raises(ValueError):
+            task.add_assignment(make_assignment())
+
+    def test_first_answer_labels(self):
+        task = make_task(votes_required=2)
+        task.record_answer(worker_id=0, labels=[1], at=1.0)
+        task.record_answer(worker_id=1, labels=[0], at=2.0)
+        assert task.first_answer_labels() == [1]
+
+    def test_first_answer_none_without_answers(self):
+        assert make_task().first_answer_labels() is None
+
+    def test_latency_relative_to_batch_start(self):
+        task = make_task()
+        task.record_answer(worker_id=0, labels=[1], at=12.0)
+        assert task.latency(batch_started_at=2.0) == pytest.approx(10.0)
+
+    def test_active_and_completed_assignment_views(self):
+        task = make_task()
+        a1 = make_assignment(assignment_id=1)
+        a2 = make_assignment(assignment_id=2)
+        task.add_assignment(a1)
+        task.add_assignment(a2)
+        a1.complete(at=3.0, labels=[1])
+        assert task.active_assignments == [a2]
+        assert task.completed_assignments == [a1]
+
+    def test_num_records(self):
+        assert make_task(num_records=5).num_records == 5
+
+
+class TestBatch:
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            Batch(batch_id=0, tasks=[])
+
+    def test_size_and_records(self):
+        batch = Batch(batch_id=0, tasks=[make_task(0, 3), make_task(1, 3)])
+        assert batch.size == 2
+        assert batch.num_records == 6
+
+    def test_completeness(self):
+        tasks = [make_task(0), make_task(1)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        assert not batch.is_complete
+        tasks[0].record_answer(0, [1], at=1.0)
+        tasks[1].record_answer(1, [0], at=2.0)
+        assert batch.is_complete
+
+    def test_task_state_views(self):
+        tasks = [make_task(0), make_task(1), make_task(2)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        tasks[0].add_assignment(make_assignment(task_id=0))
+        tasks[1].record_answer(0, [1], at=1.0)
+        assert batch.unassigned_tasks == [tasks[2]]
+        assert batch.active_tasks == [tasks[0]]
+        assert batch.incomplete_tasks == [tasks[0], tasks[2]]
+
+    def test_latency_requires_dispatch_and_completion(self):
+        batch = Batch(batch_id=0, tasks=[make_task(0)])
+        assert batch.latency is None
+        batch.dispatched_at = 1.0
+        batch.completed_at = 11.0
+        assert batch.latency == pytest.approx(10.0)
+
+    def test_task_latencies(self):
+        tasks = [make_task(0), make_task(1)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        batch.dispatched_at = 1.0
+        tasks[0].record_answer(0, [1], at=4.0)
+        assert batch.task_latencies() == [pytest.approx(3.0)]
+
+
+class TestTaskFactory:
+    def test_groups_records(self):
+        factory = TaskFactory(records_per_task=3)
+        tasks = factory.build_tasks(list(range(7)), [0] * 7)
+        assert [t.num_records for t in tasks] == [3, 3, 1]
+
+    def test_ids_are_unique_across_calls(self):
+        factory = TaskFactory()
+        first = factory.build_tasks([0], [0])
+        second = factory.build_tasks([1], [0])
+        assert first[0].task_id != second[0].task_id
+
+    def test_votes_required_propagates(self):
+        factory = TaskFactory(votes_required=3)
+        tasks = factory.build_tasks([0], [1])
+        assert tasks[0].votes_required == 3
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TaskFactory(records_per_task=0)
+        with pytest.raises(ValueError):
+            TaskFactory(votes_required=0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            TaskFactory().build_tasks([0, 1], [0])
+
+
+class TestHelpers:
+    def test_group_into_batches(self):
+        tasks = [make_task(i) for i in range(5)]
+        batches = group_into_batches(tasks, batch_size=2)
+        assert [len(b) for b in batches] == [2, 2, 1]
+        assert [b.batch_id for b in batches] == [0, 1, 2]
+
+    def test_group_into_batches_invalid_size(self):
+        with pytest.raises(ValueError):
+            group_into_batches([make_task(0)], batch_size=0)
+
+    def test_flatten_labels_uses_first_answer(self):
+        task = Task(task_id=0, record_ids=[10, 11], true_labels=[0, 1], votes_required=2)
+        task.record_answer(0, [1, 0], at=1.0)
+        task.record_answer(1, [0, 1], at=2.0)
+        assert flatten_labels([task]) == {10: 1, 11: 0}
+
+    def test_flatten_labels_skips_unanswered(self):
+        assert flatten_labels([make_task(0)]) == {}

@@ -1,0 +1,93 @@
+"""Unit tests for the TermEst terminated-latency estimator."""
+
+import pytest
+
+from repro.core.termest import NaiveLatencyEstimator, TermEst
+from repro.crowd.worker import WorkerObservations
+
+
+def observations(completed=(), terminated_by=(), untracked_terminations=0):
+    obs = WorkerObservations(worker_id=0)
+    for latency in completed:
+        obs.record_completion(latency)
+    for terminator in terminated_by:
+        obs.record_termination(terminator_latency=terminator)
+    for _ in range(untracked_terminations):
+        obs.record_termination()
+    return obs
+
+
+class TestTermEst:
+    def test_alpha_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            TermEst(alpha=-1.0)
+
+    def test_no_observations_gives_none(self):
+        estimator = TermEst()
+        assert estimator.estimated_mean_latency(observations()) is None
+
+    def test_only_completions_matches_empirical_mean(self):
+        estimator = TermEst()
+        obs = observations(completed=[4.0, 6.0])
+        assert estimator.estimated_mean_latency(obs) == pytest.approx(5.0)
+
+    def test_paper_formula_for_terminated_mean(self):
+        """l_s,Tt = l_f (N + alpha) / (N_c + alpha)."""
+        estimator = TermEst(alpha=1.0)
+        obs = observations(completed=[10.0], terminated_by=[2.0, 4.0])
+        # N = 3, N_c = 1, l_f = 3.0 -> 3 * 4 / 2 = 6.0
+        assert estimator.terminated_mean_estimate(obs) == pytest.approx(6.0)
+
+    def test_overall_estimate_weights_by_counts(self):
+        estimator = TermEst(alpha=1.0)
+        obs = observations(completed=[10.0], terminated_by=[2.0, 4.0])
+        terminated_mean = estimator.terminated_mean_estimate(obs)
+        expected = (2 / 3) * terminated_mean + (1 / 3) * 10.0
+        assert estimator.estimated_mean_latency(obs) == pytest.approx(expected)
+
+    def test_all_terminated_with_smoothing_is_finite(self):
+        estimator = TermEst(alpha=1.0)
+        obs = observations(terminated_by=[3.0, 3.0, 3.0])
+        estimate = estimator.estimated_mean_latency(obs)
+        assert estimate is not None and estimate > 0
+
+    def test_all_terminated_without_smoothing_would_divide_by_zero(self):
+        """alpha=0 and N_c=0: the smoothed formula is what keeps this finite."""
+        estimator = TermEst(alpha=1.0)
+        obs = observations(terminated_by=[5.0])
+        # l_f = 5, N = 1, N_c = 0: estimate = 5 * 2 / 1 = 10
+        assert estimator.terminated_mean_estimate(obs) == pytest.approx(10.0)
+
+    def test_terminations_without_terminator_latency_fall_back(self):
+        estimator = TermEst()
+        obs = observations(completed=[8.0], untracked_terminations=2)
+        assert estimator.terminated_mean_estimate(obs) == pytest.approx(8.0)
+
+    def test_estimate_dataclass_fields(self):
+        estimator = TermEst()
+        obs = observations(completed=[4.0], terminated_by=[2.0])
+        estimate = estimator.estimate(obs)
+        assert estimate.started == 2
+        assert estimate.completed == 1
+        assert estimate.terminated == 1
+        assert estimate.overall_estimate is not None
+
+    def test_censoring_correction_raises_estimate(self):
+        """A frequently-terminated worker should look slower than their completions suggest."""
+        estimator = TermEst(alpha=1.0)
+        censored = observations(completed=[5.0], terminated_by=[4.0, 4.0, 4.0, 4.0])
+        naive = NaiveLatencyEstimator()
+        assert estimator.estimated_mean_latency(censored) > naive.estimated_mean_latency(
+            censored
+        )
+
+
+class TestNaiveEstimator:
+    def test_ignores_terminations(self):
+        estimator = NaiveLatencyEstimator()
+        obs = observations(completed=[5.0, 7.0], terminated_by=[100.0])
+        assert estimator.estimated_mean_latency(obs) == pytest.approx(6.0)
+
+    def test_none_without_completions(self):
+        estimator = NaiveLatencyEstimator()
+        assert estimator.estimated_mean_latency(observations(terminated_by=[2.0])) is None

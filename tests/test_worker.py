@@ -1,0 +1,150 @@
+"""Unit tests for worker profiles, populations, and observations."""
+
+import numpy as np
+import pytest
+
+from repro.crowd.worker import (
+    MIN_TASK_LATENCY_SECONDS,
+    PopulationParameters,
+    WorkerObservations,
+    WorkerPopulation,
+    WorkerProfile,
+    population_from_profiles,
+)
+
+
+class TestWorkerProfile:
+    def test_rejects_nonpositive_mean_latency(self):
+        with pytest.raises(ValueError):
+            WorkerProfile(0, mean_latency=0.0, latency_std=1.0, accuracy=0.9)
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            WorkerProfile(0, mean_latency=5.0, latency_std=-1.0, accuracy=0.9)
+
+    def test_rejects_out_of_range_accuracy(self):
+        with pytest.raises(ValueError):
+            WorkerProfile(0, mean_latency=5.0, latency_std=1.0, accuracy=1.5)
+
+    def test_draw_latency_respects_floor(self, rng):
+        worker = WorkerProfile(0, mean_latency=1.0, latency_std=10.0, accuracy=0.9)
+        draws = [worker.draw_latency(rng) for _ in range(200)]
+        assert min(draws) >= MIN_TASK_LATENCY_SECONDS
+
+    def test_draw_latency_scales_with_records(self, rng, fast_worker):
+        single = np.mean([fast_worker.draw_latency(rng, 1) for _ in range(300)])
+        grouped = np.mean([fast_worker.draw_latency(rng, 5) for _ in range(300)])
+        assert grouped > 3 * single
+
+    def test_draw_latency_rejects_zero_records(self, rng, fast_worker):
+        with pytest.raises(ValueError):
+            fast_worker.draw_latency(rng, 0)
+
+    def test_draw_label_matches_accuracy(self, rng):
+        worker = WorkerProfile(0, mean_latency=5.0, latency_std=1.0, accuracy=0.8)
+        labels = [worker.draw_label(rng, true_label=1, num_classes=2) for _ in range(3000)]
+        assert np.mean(np.array(labels) == 1) == pytest.approx(0.8, abs=0.04)
+
+    def test_draw_label_wrong_labels_differ_from_truth(self, rng):
+        worker = WorkerProfile(0, mean_latency=5.0, latency_std=1.0, accuracy=0.0)
+        labels = {worker.draw_label(rng, true_label=2, num_classes=4) for _ in range(200)}
+        assert 2 not in labels
+        assert labels <= {0, 1, 3}
+
+    def test_draw_label_rejects_single_class(self, rng, fast_worker):
+        with pytest.raises(ValueError):
+            fast_worker.draw_label(rng, 0, num_classes=1)
+
+    def test_with_id_preserves_parameters(self, fast_worker):
+        renamed = fast_worker.with_id(42)
+        assert renamed.worker_id == 42
+        assert renamed.mean_latency == fast_worker.mean_latency
+
+
+class TestWorkerPopulation:
+    def test_explicit_population_samples_templates(self, small_population):
+        worker = small_population.sample_worker()
+        assert worker.mean_latency in {4.0, 10.0, 16.0, 22.0, 28.0}
+
+    def test_sampled_workers_get_fresh_ids(self, small_population):
+        first = small_population.sample_worker()
+        second = small_population.sample_worker()
+        assert first.worker_id != second.worker_id
+
+    def test_sample_workers_count(self, parametric_population):
+        workers = parametric_population.sample_workers(7)
+        assert len(workers) == 7
+
+    def test_sample_workers_negative_count_rejected(self, parametric_population):
+        with pytest.raises(ValueError):
+            parametric_population.sample_workers(-1)
+
+    def test_parametric_generation_respects_accuracy_floor(self, parametric_population):
+        workers = parametric_population.sample_workers(200)
+        assert all(w.accuracy >= 0.5 for w in workers)
+
+    def test_mean_latency_explicit(self, small_population):
+        assert small_population.mean_latency() == pytest.approx(16.0)
+
+    def test_mean_latency_parametric_matches_lognormal(self):
+        params = PopulationParameters(log_mean_latency=2.0, log_std_latency=0.5)
+        population = WorkerPopulation(parameters=params, seed=0)
+        expected = float(np.exp(2.0 + 0.125))
+        assert population.mean_latency() == pytest.approx(expected)
+
+    def test_split_by_threshold_masses_sum(self, small_population):
+        q, mu_fast, mu_slow = small_population.split_by_threshold(15.0)
+        assert 0.0 < q < 1.0
+        assert mu_fast < 15.0 < mu_slow
+
+    def test_split_by_threshold_rejects_nonpositive(self, small_population):
+        with pytest.raises(ValueError):
+            small_population.split_by_threshold(0.0)
+
+    def test_population_from_profiles_roundtrip(self, fast_worker, slow_worker):
+        population = population_from_profiles([fast_worker, slow_worker])
+        assert len(population) == 2
+
+    def test_default_population_is_parametric(self):
+        population = WorkerPopulation()
+        assert population.parameters is not None
+        worker = population.sample_worker()
+        assert worker.mean_latency > 0
+
+
+class TestWorkerObservations:
+    def test_counts(self):
+        obs = WorkerObservations(worker_id=0)
+        obs.record_completion(5.0)
+        obs.record_completion(7.0)
+        obs.record_termination(terminator_latency=3.0)
+        assert obs.completed_count == 2
+        assert obs.terminated_count == 1
+        assert obs.started_count == 3
+
+    def test_empirical_mean(self):
+        obs = WorkerObservations(worker_id=0)
+        obs.record_completion(4.0)
+        obs.record_completion(8.0)
+        assert obs.empirical_mean_latency() == pytest.approx(6.0)
+
+    def test_empirical_mean_none_without_completions(self):
+        assert WorkerObservations(worker_id=0).empirical_mean_latency() is None
+
+    def test_empirical_std_requires_two_samples(self):
+        obs = WorkerObservations(worker_id=0)
+        obs.record_completion(4.0)
+        assert obs.empirical_std_latency() is None
+        obs.record_completion(8.0)
+        assert obs.empirical_std_latency() == pytest.approx(np.std([4.0, 8.0], ddof=1))
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerObservations(worker_id=0).record_completion(-1.0)
+
+    def test_terminator_latencies_recorded(self):
+        obs = WorkerObservations(worker_id=0)
+        obs.record_termination(terminator_latency=2.5)
+        obs.record_termination()
+        assert obs.terminator_latencies == [2.5]
+        assert obs.terminated_count == 2
