@@ -1,0 +1,91 @@
+"""Engine-vs-facade overhead on the e2e headline workload.
+
+The api_redesign promise: the new ``Engine``/``JobSpec`` execution path adds
+no meaningful overhead over the legacy ``CLAMShell.run()`` facade — both
+funnel through ``repro.api.engine.build_run`` and the same Batcher loop, so
+the per-run difference should be noise (< 5%).
+
+This benchmark runs the §6.6 headline configuration (full CLAMShell on the
+MNIST stand-in) through both entry points, alternating, and reports the
+median wall-clock per path plus the relative overhead.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from conftest import report, run_once
+
+from repro.api import Engine, JobSpec
+from repro.core.clamshell import CLAMShell
+from repro.core.config import full_clamshell
+from repro.experiments.common import mixed_speed_population
+from repro.learning.datasets import make_mnist_like
+
+NUM_RECORDS = 250
+POOL_SIZE = 10
+REPS = 3
+
+
+def _facade_run(dataset, seed):
+    system = CLAMShell(
+        config=full_clamshell(pool_size=POOL_SIZE, seed=seed),
+        dataset=dataset,
+        population=mixed_speed_population(seed=seed),
+    )
+    return system.run(num_records=NUM_RECORDS)
+
+
+def _engine_run(dataset, seed):
+    spec = JobSpec(
+        dataset=dataset,
+        config=full_clamshell(pool_size=POOL_SIZE, seed=seed),
+        population=mixed_speed_population(seed=seed),
+        num_records=NUM_RECORDS,
+    )
+    return Engine().run(spec)
+
+
+def _measure(dataset, seed):
+    facade_times, engine_times = [], []
+    facade_result = engine_result = None
+    for _ in range(REPS):  # alternate paths so drift hits both equally
+        start = time.perf_counter()
+        facade_result = _facade_run(dataset, seed)
+        facade_times.append(time.perf_counter() - start)
+
+        start = time.perf_counter()
+        engine_result = _engine_run(dataset, seed)
+        engine_times.append(time.perf_counter() - start)
+    return facade_times, engine_times, facade_result, engine_result
+
+
+def test_engine_overhead_under_5_percent(benchmark, seed):
+    dataset = make_mnist_like(n_samples=2500, n_features=256, seed=seed)
+    facade_times, engine_times, facade_result, engine_result = run_once(
+        benchmark, lambda: _measure(dataset, seed)
+    )
+
+    facade_median = statistics.median(facade_times)
+    engine_median = statistics.median(engine_times)
+    overhead = (engine_median - facade_median) / facade_median
+
+    report(
+        "Engine-vs-facade overhead on the e2e headline workload "
+        f"({NUM_RECORDS} records, pool {POOL_SIZE}, median of {REPS})",
+        ["path", "median seconds", "overhead vs facade"],
+        [
+            ["CLAMShell.run (facade)", facade_median, "-"],
+            ["Engine.run (JobSpec)", engine_median, f"{overhead:+.1%}"],
+        ],
+    )
+
+    # Identical execution path => identical simulated outcome...
+    assert engine_result.labels == facade_result.labels
+    assert (
+        engine_result.metrics.total_wall_clock
+        == facade_result.metrics.total_wall_clock
+    )
+    # ...and negligible real-time overhead.
+    assert overhead < 0.05, f"engine overhead {overhead:.1%} exceeds 5%"

@@ -9,19 +9,44 @@ package implements the full system on top of a simulated crowd platform:
   generators, active/passive/hybrid learners, asynchronous retraining);
 * ``repro.core`` — CLAMShell itself (straggler mitigation, pool maintenance,
   TermEst, quality control, the Batcher/LifeGuard orchestration, metrics);
+* ``repro.api`` — the service-shaped frontend: the :class:`Engine` /
+  :class:`JobSpec` / :class:`LabelingJob` API with streaming
+  :class:`ProgressEvent`\\ s, and the pluggable :class:`CrowdBackend`
+  registry;
 * ``repro.analysis`` — latency profiling and statistics;
 * ``repro.experiments`` — drivers reproducing every figure and table in the
   paper's evaluation.
 
-Quickstart::
+Quickstart (legacy facade)::
 
     from repro import CLAMShell, full_clamshell, make_cifar_like
 
     dataset = make_cifar_like(seed=0)
     result = CLAMShell(config=full_clamshell(), dataset=dataset).run(num_records=200)
     print(result.final_accuracy)
+
+Quickstart (engine API)::
+
+    from repro import Engine, JobSpec, make_cifar_like
+
+    job = Engine(max_workers=4).submit(JobSpec(dataset=make_cifar_like(seed=0)))
+    for event in job.stream():
+        print(event.kind.value, event.records_labeled)
+    print(job.result().final_accuracy)
 """
 
+from .api import (
+    CrowdBackend,
+    Engine,
+    JobSpec,
+    JobStatus,
+    LabelingJob,
+    ProgressEvent,
+    ProgressKind,
+    available_backends,
+    create_backend,
+    register_backend,
+)
 from .core import (
     CLAMShell,
     CLAMShellConfig,
@@ -55,24 +80,33 @@ from .learning import (
     make_mnist_like,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CLAMShell",
     "CLAMShellConfig",
+    "CrowdBackend",
     "Dataset",
+    "Engine",
+    "JobSpec",
+    "JobStatus",
+    "LabelingJob",
     "LearningCurve",
     "LearningStrategy",
     "LogisticRegressionModel",
     "PayRates",
+    "ProgressEvent",
+    "ProgressKind",
     "RunResult",
     "SimulatedCrowdPlatform",
     "StragglerRoutingPolicy",
     "WorkerPopulation",
     "WorkerProfile",
     "__version__",
+    "available_backends",
     "baseline_no_retainer",
     "baseline_retainer",
+    "create_backend",
     "crowd_labeling_objective",
     "default_simulation_population",
     "full_clamshell",
@@ -82,6 +116,7 @@ __all__ = [
     "make_hardness_series",
     "make_learner",
     "make_mnist_like",
+    "register_backend",
     "speedup_factor",
     "summarize_trace",
     "variance_reduction_factor",

@@ -1,0 +1,77 @@
+"""repro.api — the service-shaped frontend of the reproduction.
+
+This layer separates the stable public API from the swappable execution
+substrate:
+
+* :class:`CrowdBackend` + the backend registry (:func:`register_backend`,
+  :func:`create_backend`) — pluggable crowd platforms;
+* :class:`JobSpec` / :class:`LabelingJob` / :class:`Engine` — submit labeling
+  jobs, run many concurrently, and stream typed per-batch
+  :class:`ProgressEvent`\\ s while a run advances.
+
+Quickstart::
+
+    from repro import Engine, JobSpec, full_clamshell, make_mnist_like
+
+    engine = Engine(max_workers=4)
+    job = engine.submit(JobSpec(dataset=make_mnist_like(seed=1), num_records=200))
+    for event in job.stream():
+        print(event.kind.value, event.records_labeled)
+    result = job.result()
+
+``repro.core`` imports the leaf modules ``repro.api.backends`` and
+``repro.api.events``; the engine (which itself builds on ``repro.core``) is
+loaded lazily via PEP 562 so that importing this package from core never
+creates a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .backends import (
+    DEFAULT_BACKEND,
+    BackendFactory,
+    CrowdBackend,
+    available_backends,
+    backend_factory,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from .events import ProgressEvent, ProgressKind
+
+#: Names served lazily from :mod:`repro.api.engine` (PEP 562).
+_ENGINE_EXPORTS = frozenset(
+    {"Engine", "JobSpec", "JobStatus", "LabelingJob", "build_run"}
+)
+
+__all__ = [
+    "BackendFactory",
+    "CrowdBackend",
+    "DEFAULT_BACKEND",
+    "Engine",
+    "JobSpec",
+    "JobStatus",
+    "LabelingJob",
+    "ProgressEvent",
+    "ProgressKind",
+    "available_backends",
+    "backend_factory",
+    "build_run",
+    "create_backend",
+    "register_backend",
+    "unregister_backend",
+]
+
+
+def __getattr__(name: str) -> Any:
+    if name in _ENGINE_EXPORTS:
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | _ENGINE_EXPORTS)

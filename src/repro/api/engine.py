@@ -1,0 +1,367 @@
+"""The labeling Engine: job specs, job handles, and concurrent execution.
+
+The engine is the execution frontend of the redesigned API:
+
+* :class:`JobSpec` — an immutable description of one labeling run (dataset,
+  config, population, budget, backend name);
+* :class:`LabelingJob` — a handle on a submitted run; ``stream()`` yields
+  typed :class:`~repro.api.events.ProgressEvent`\\ s as batches complete and
+  ``result()`` blocks for the final :class:`~repro.core.batcher.RunResult`;
+* :class:`Engine` — ``run()`` executes a spec inline (zero thread overhead,
+  what the legacy ``CLAMShell.run()`` facade delegates to), ``submit()`` /
+  ``run_many()`` execute jobs concurrently on a thread pool.
+
+Every execution path — facade, CLI, experiment drivers, engine — funnels
+through :func:`build_run`, which resolves the spec's backend name against the
+registry and wires a fresh :class:`~repro.core.batcher.Batcher`.  One run,
+one platform: repeated executions of the same spec are independent and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+
+from ..core.batcher import Batcher, RunResult
+from ..core.config import CLAMShellConfig, full_clamshell
+from ..crowd.traces import default_simulation_population
+from ..crowd.worker import WorkerPopulation
+from ..learning.datasets import Dataset
+from ..learning.learners import BaseLearner
+from ..learning.retrainer import DecisionLatencyModel
+from .backends import CrowdBackend, create_backend
+from .events import ProgressEvent, ProgressKind, drain_stream
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything needed to execute one labeling run.
+
+    Specs are frozen so they can be submitted repeatedly and shared between
+    threads.  Mutable collaborators are created per execution: when
+    ``population`` is ``None`` a fresh default population is drawn from the
+    job seed, and the learner is built per run (``learner_factory``).  If you
+    do pass a ``population`` instance, note that it is stateful — sharing one
+    instance across *concurrent* jobs makes recruitment draws race and the
+    runs non-deterministic; give each concurrent spec its own.
+    """
+
+    dataset: Dataset
+    config: CLAMShellConfig = field(default_factory=full_clamshell)
+    population: Optional[WorkerPopulation] = None
+    num_records: int = 500
+    accuracy_target: Optional[float] = None
+    max_batches: int = 1000
+    #: Platform seed override; defaults to ``config.seed``.
+    seed: Optional[int] = None
+    #: Registered backend name; defaults to ``config.backend``.
+    backend: Optional[str] = None
+    #: Extra keyword arguments forwarded to the backend factory.
+    backend_options: Optional[Mapping[str, Any]] = None
+    #: Builds the learner for one run; ``None`` lets the Batcher construct
+    #: the learner the config calls for.
+    learner_factory: Optional[Callable[[], Optional[BaseLearner]]] = None
+    decision_latency: Optional[DecisionLatencyModel] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dataset is None:
+            raise ValueError("a JobSpec requires a dataset")
+        if self.num_records < 1:
+            raise ValueError("num_records must be >= 1")
+        if self.max_batches < 1:
+            raise ValueError("max_batches must be >= 1")
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend or self.config.backend
+
+    @property
+    def platform_seed(self) -> int:
+        return self.config.seed if self.seed is None else self.seed
+
+    def with_overrides(self, **kwargs: Any) -> "JobSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def build_run(spec: JobSpec) -> tuple[CrowdBackend, Batcher]:
+    """Wire a fresh (backend, batcher) pair for one execution of ``spec``."""
+    # `is None`, not truthiness: parametric populations have len() == 0.
+    population = spec.population
+    if population is None:
+        population = default_simulation_population(seed=spec.platform_seed)
+    options = dict(spec.backend_options or {})
+    platform = create_backend(
+        spec.backend_name,
+        population=population,
+        seed=spec.platform_seed,
+        num_classes=spec.dataset.num_classes,
+        abandonment_rate=spec.config.abandonment_rate,
+        **options,
+    )
+    learner = spec.learner_factory() if spec.learner_factory is not None else None
+    batcher = Batcher(
+        config=spec.config,
+        dataset=spec.dataset,
+        platform=platform,
+        learner=learner,
+        decision_latency=spec.decision_latency,
+    )
+    return platform, batcher
+
+
+class JobStatus(Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+class LabelingJob:
+    """A handle on one submitted labeling run.
+
+    Thread-safe: the engine's worker thread appends events while any number
+    of consumers iterate :meth:`stream` (late subscribers replay the full
+    event history first) or block in :meth:`result`.
+    """
+
+    def __init__(self, spec: JobSpec, job_id: int) -> None:
+        self.spec = spec
+        self.job_id = job_id
+        #: The batcher/platform of the (last) execution, for inspection.
+        self.batcher: Optional[Batcher] = None
+        self.platform: Optional[CrowdBackend] = None
+        self._events: list[ProgressEvent] = []
+        self._cond = threading.Condition()
+        self._status = JobStatus.PENDING
+        self._result: Optional[RunResult] = None
+        self._error: Optional[BaseException] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name or f"job-{self.job_id}"
+
+    @property
+    def status(self) -> JobStatus:
+        with self._cond:
+            return self._status
+
+    @property
+    def done(self) -> bool:
+        return self.status in (JobStatus.SUCCEEDED, JobStatus.FAILED)
+
+    def events(self) -> list[ProgressEvent]:
+        """Snapshot of the events emitted so far."""
+        with self._cond:
+            return list(self._events)
+
+    def stream(self) -> Iterator[ProgressEvent]:
+        """Yield progress events as the run advances.
+
+        Replays history for late subscribers, then blocks until new events
+        arrive; ends when the run finishes.  Raises the job's error if the
+        run failed.
+        """
+        cursor = 0
+        while True:
+            with self._cond:
+                while cursor >= len(self._events) and not self._is_done_locked():
+                    self._cond.wait()
+                pending = self._events[cursor:]
+                cursor = len(self._events)
+                finished = not pending and self._is_done_locked()
+                error = self._error
+            for event in pending:
+                yield event
+            if finished:
+                if error is not None:
+                    raise error
+                return
+
+    def wait(self, timeout: Optional[float] = None) -> JobStatus:
+        """Block until the job finishes (or ``timeout`` elapses)."""
+        with self._cond:
+            self._cond.wait_for(self._is_done_locked, timeout=timeout)
+            return self._status
+
+    def result(self, timeout: Optional[float] = None) -> RunResult:
+        """Block for the final :class:`RunResult`; raises if the run failed."""
+        with self._cond:
+            if not self._cond.wait_for(self._is_done_locked, timeout=timeout):
+                raise TimeoutError(f"{self.name} did not finish within {timeout}s")
+            if self._error is not None:
+                raise self._error
+            assert self._result is not None
+            return self._result
+
+    # -- engine-side plumbing ---------------------------------------------
+
+    def _is_done_locked(self) -> bool:
+        return self._status in (JobStatus.SUCCEEDED, JobStatus.FAILED)
+
+    def _mark_running(self) -> None:
+        with self._cond:
+            self._status = JobStatus.RUNNING
+            self._cond.notify_all()
+
+    def _emit(self, event: ProgressEvent) -> None:
+        with self._cond:
+            self._events.append(event)
+            self._cond.notify_all()
+
+    def _finish(self, result: RunResult) -> None:
+        with self._cond:
+            self._result = result
+            self._status = JobStatus.SUCCEEDED
+            self._cond.notify_all()
+
+    def _fail(self, error: BaseException) -> None:
+        with self._cond:
+            self._error = error
+            self._status = JobStatus.FAILED
+            self._cond.notify_all()
+
+
+class Engine:
+    """Executes labeling jobs — inline, or concurrently on a thread pool.
+
+    The engine is cheap to construct; the thread pool is created lazily on
+    the first :meth:`submit`.  Use it as a context manager (or call
+    :meth:`close`) to tear the pool down deterministically.
+    """
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        self._lock = threading.Lock()
+        self._job_ids = itertools.count()
+        self._running = 0
+        #: Highest number of jobs observed executing simultaneously.
+        self.concurrency_high_water = 0
+
+    # -- synchronous execution --------------------------------------------
+
+    def stream(self, spec: JobSpec) -> Iterator[ProgressEvent]:
+        """Execute ``spec`` inline, yielding progress events as it runs."""
+        _, batcher = build_run(spec)
+        return batcher.run_iter(
+            num_records=spec.num_records,
+            accuracy_target=spec.accuracy_target,
+            max_batches=spec.max_batches,
+        )
+
+    def run(
+        self,
+        spec: JobSpec,
+        on_event: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> RunResult:
+        """Execute ``spec`` inline and return the final result.
+
+        ``on_event`` (optional) observes every progress event as it is
+        produced — the streaming and blocking APIs share one code path.
+        """
+        return drain_stream(self.stream(spec), on_event=on_event)
+
+    # -- concurrent execution ---------------------------------------------
+
+    def submit(self, spec: JobSpec) -> LabelingJob:
+        """Schedule ``spec`` on the thread pool and return its job handle."""
+        job = LabelingJob(spec, job_id=next(self._job_ids))
+        self._ensure_executor().submit(self._run_job, job)
+        return job
+
+    def submit_many(self, specs: Sequence[JobSpec]) -> list[LabelingJob]:
+        """Submit several specs; jobs execute concurrently as workers allow."""
+        return [self.submit(spec) for spec in specs]
+
+    def run_many(
+        self, specs: Sequence[JobSpec], timeout: Optional[float] = None
+    ) -> list[RunResult]:
+        """Execute several specs concurrently; results follow spec order.
+
+        ``timeout`` is a single deadline for the whole call, not per job.
+        On timeout the in-flight jobs keep running on the pool (threads
+        cannot be cancelled); resubmit with handles via :meth:`submit_many`
+        if you need to keep observing them.
+        """
+        jobs = self.submit_many(specs)
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        results = []
+        for job in jobs:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            results.append(job.result(timeout=remaining))
+        return results
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Shut down the thread pool (in-flight jobs finish when ``wait``).
+
+        Closing is terminal: further :meth:`submit` calls raise.  Inline
+        execution (:meth:`run` / :meth:`stream`) never needs the pool and
+        keeps working.
+        """
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed Engine")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-engine",
+                )
+            return self._executor
+
+    def _run_job(self, job: LabelingJob) -> None:
+        with self._lock:
+            self._running += 1
+            self.concurrency_high_water = max(
+                self.concurrency_high_water, self._running
+            )
+        job._mark_running()
+        try:
+            platform, batcher = build_run(job.spec)
+            job.platform = platform
+            job.batcher = batcher
+            result = drain_stream(
+                batcher.run_iter(
+                    num_records=job.spec.num_records,
+                    accuracy_target=job.spec.accuracy_target,
+                    max_batches=job.spec.max_batches,
+                ),
+                on_event=job._emit,
+            )
+            job._finish(result)
+        except BaseException as error:  # surface failures through the handle
+            job._fail(error)
+        finally:
+            with self._lock:
+                self._running -= 1

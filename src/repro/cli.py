@@ -17,6 +17,8 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Optional, Sequence
 
+from . import __version__
+from .api.events import ProgressEvent, ProgressKind
 from .experiments import (
     build_technique_matrix,
     format_table,
@@ -110,8 +112,35 @@ def _run_hybrid_real(seed: int, num_records: int) -> None:
     )
 
 
-def _run_e2e(seed: int, num_records: int) -> None:
-    result = run_end_to_end_experiment(num_records=max(100, num_records), seed=seed)
+def _print_progress(label: str, event: ProgressEvent) -> None:
+    """One line per ProgressEvent, the ``--stream`` output format."""
+    if event.kind is ProgressKind.RUN_STARTED:
+        print(f"[{label}] run started (pool={event.pool_size})", flush=True)
+    elif event.kind is ProgressKind.BATCH_COMPLETED:
+        accuracy = (
+            f" acc={event.accuracy_estimate:.3f}"
+            if event.accuracy_estimate is not None
+            else ""
+        )
+        print(
+            f"[{label}] batch {event.batch_index}: +{len(event.new_labels)} labels "
+            f"(total {event.records_labeled}) t={event.wall_clock:.1f}s "
+            f"pool={event.pool_size}{accuracy}",
+            flush=True,
+        )
+    else:
+        print(
+            f"[{label}] finished: {event.records_labeled} labels "
+            f"in {event.wall_clock:.1f}s",
+            flush=True,
+        )
+
+
+def _run_e2e(seed: int, num_records: int, stream: bool = False) -> None:
+    on_event = _print_progress if stream else None
+    result = run_end_to_end_experiment(
+        num_records=max(100, num_records), seed=seed, on_event=on_event
+    )
     for comparison in result.comparisons:
         _print(
             f"Figure 17 — time to accuracy on {comparison.dataset_name}",
@@ -174,6 +203,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduce CLAMShell (VLDB 2015) experiments on the simulated crowd.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
     subparsers.add_parser("list", help="list available experiments")
     run_parser = subparsers.add_parser("run", help="run one experiment and print its table")
@@ -184,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=250,
         help="approximate labeling budget; drivers scale their workloads from it",
+    )
+    run_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="print per-batch progress lines while the runs advance (e2e only)",
     )
     return parser
 
@@ -196,6 +233,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     description, runner = EXPERIMENTS[args.experiment]
     print(f"Running: {description} (seed={args.seed})")
+    if args.experiment == "e2e":
+        _run_e2e(args.seed, args.num_records, stream=args.stream)
+        return 0
+    if args.stream:
+        print("note: --stream is only supported for the e2e experiment; ignoring")
     runner(args.seed, args.num_records)
     return 0
 

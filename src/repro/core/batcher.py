@@ -7,16 +7,23 @@ cache and the learner, retrain (pipelined, if asynchronous retraining is on),
 and record metrics and the learning curve.  It stops when the requested
 number of records has been labeled, when an accuracy target is hit, or when
 the training pool runs out of unlabeled records.
+
+The Batcher talks to the crowd purely through the
+:class:`~repro.api.backends.CrowdBackend` protocol, and a run can be consumed
+as a stream: :meth:`Batcher.run_iter` yields a typed
+:class:`~repro.api.events.ProgressEvent` per batch, and :meth:`Batcher.run`
+is a thin wrapper that drains the stream and returns the final result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
-from ..crowd.platform import SimulatedCrowdPlatform
+from ..api.backends import CrowdBackend
+from ..api.events import ProgressEvent, ProgressKind, drain_stream
 from ..crowd.tasks import Batch, TaskFactory
 from ..learning.datasets import Dataset
 from ..learning.learners import BaseLearner, BatchProposal, make_learner
@@ -83,7 +90,7 @@ class Batcher:
         self,
         config: CLAMShellConfig,
         dataset: Dataset,
-        platform: SimulatedCrowdPlatform,
+        platform: CrowdBackend,
         learner: Optional[BaseLearner] = None,
         decision_latency: Optional[DecisionLatencyModel] = None,
     ) -> None:
@@ -199,11 +206,41 @@ class Batcher:
         record_curve: bool = True,
     ) -> RunResult:
         """Label up to ``num_records`` records (stopping early at the accuracy target)."""
+        return drain_stream(
+            self.run_iter(
+                num_records=num_records,
+                accuracy_target=accuracy_target,
+                max_batches=max_batches,
+                record_curve=record_curve,
+            )
+        )
+
+    def run_iter(
+        self,
+        num_records: int = 500,
+        accuracy_target: Optional[float] = None,
+        max_batches: int = 1000,
+        record_curve: bool = True,
+    ) -> Iterator[ProgressEvent]:
+        """Stream the run: one event at start, one per batch, one at the end.
+
+        The final event carries the :class:`RunResult`; draining the iterator
+        is exactly equivalent to calling :meth:`run` with the same arguments.
+        Arguments are validated eagerly (before the first ``next()``).
+        """
         if num_records < 1:
             raise ValueError("num_records must be >= 1")
         if max_batches < 1:
             raise ValueError("max_batches must be >= 1")
+        return self._iter_run(num_records, accuracy_target, max_batches, record_curve)
 
+    def _iter_run(
+        self,
+        num_records: int,
+        accuracy_target: Optional[float],
+        max_batches: int,
+        record_curve: bool,
+    ) -> Iterator[ProgressEvent]:
         config = self.config
         if len(self.platform.pool) == 0:
             self.platform.initialize_pool(config.pool_size)
@@ -212,17 +249,28 @@ class Batcher:
 
         metrics = RunMetrics()
         curve: Optional[LearningCurve] = None
+        initial_accuracy: Optional[float] = None
         if self.learner is not None and record_curve:
             curve = LearningCurve(
                 strategy=self.learner.strategy_name, dataset=self.dataset.name
             )
-            curve.record(0, 0.0, self.learner.test_accuracy(), batch_index=-1)
+            initial_accuracy = self.learner.test_accuracy()
+            curve.record(0, 0.0, initial_accuracy, batch_index=-1)
 
         all_labels: dict[int, int] = {}
         outcomes: list[BatchOutcome] = []
         records_labeled = 0
         previous_batch_seconds = 0.0
         start_time = self.platform.now
+
+        yield ProgressEvent(
+            kind=ProgressKind.RUN_STARTED,
+            batch_index=-1,
+            wall_clock=0.0,
+            records_labeled=0,
+            pool_size=len(self.platform.pool),
+            accuracy_estimate=initial_accuracy,
+        )
 
         for batch_index in range(max_batches):
             if records_labeled >= num_records:
@@ -279,18 +327,37 @@ class Batcher:
                     (completion_time - start_time, previous_total + record_count)
                 )
 
+            batch_accuracy: Optional[float] = None
             if curve is not None and self.learner is not None:
                 self.learner.retrain()
-                accuracy = self.learner.test_accuracy()
+                batch_accuracy = self.learner.test_accuracy()
                 curve.record(
                     self.learner.num_labeled,
                     self.platform.now - start_time,
-                    accuracy,
+                    batch_accuracy,
                     batch_index=batch_index,
                 )
-                if accuracy_target is not None and accuracy >= accuracy_target:
-                    break
 
+            yield ProgressEvent(
+                kind=ProgressKind.BATCH_COMPLETED,
+                batch_index=batch_index,
+                wall_clock=self.platform.now - start_time,
+                records_labeled=records_labeled,
+                pool_size=len(self.platform.pool),
+                new_labels=dict(outcome.labels),
+                batch_latency=outcome.batch_latency,
+                accuracy_estimate=batch_accuracy,
+                workers_replaced=outcome.workers_replaced,
+                assignments_started=outcome.assignments_started,
+                assignments_terminated=outcome.assignments_terminated,
+            )
+
+            if (
+                accuracy_target is not None
+                and batch_accuracy is not None
+                and batch_accuracy >= accuracy_target
+            ):
+                break
             if self.learner is not None and not self.learner.has_unlabeled():
                 break
             if self.learner is None and self._selector is not None:
@@ -306,7 +373,7 @@ class Batcher:
         if self.learner is not None:
             final_accuracy = self.learner.test_accuracy()
 
-        return RunResult(
+        result = RunResult(
             config=config,
             metrics=metrics,
             learning_curve=curve,
@@ -315,4 +382,13 @@ class Batcher:
             replacements=list(self.maintainer.replacements) if self.maintainer else [],
             total_cost=metrics.total_cost,
             final_accuracy=final_accuracy,
+        )
+        yield ProgressEvent(
+            kind=ProgressKind.RUN_FINISHED,
+            batch_index=len(outcomes) - 1,
+            wall_clock=metrics.total_wall_clock,
+            records_labeled=records_labeled,
+            pool_size=len(self.platform.pool),
+            accuracy_estimate=final_accuracy,
+            result=result,
         )

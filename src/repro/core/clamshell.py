@@ -14,18 +14,25 @@ Typical use::
     result = system.run(num_records=500)
     print(result.final_accuracy, result.metrics.total_wall_clock)
 
-The facade builds the simulated crowd platform, the learner matching the
-configured strategy, and the Batcher, and exposes ``run`` plus a handful of
-conveniences for inspecting the outcome.  Each call to ``run`` uses a fresh
-platform so repeated runs are independent.
+The facade is a thin compatibility wrapper over the :mod:`repro.api` engine:
+``run`` delegates to the same single execution path the
+:class:`~repro.api.engine.Engine` uses (:func:`repro.api.engine.build_run`),
+``run_iter`` exposes the per-batch
+:class:`~repro.api.events.ProgressEvent` stream directly, and
+``to_job_spec`` converts the facade's configuration into a
+:class:`~repro.api.engine.JobSpec` for submission to an engine.  Each run
+uses a fresh platform, created through the crowd-backend registry, so
+repeated runs are independent.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterator, Optional
 
-from ..crowd.platform import SimulatedCrowdPlatform
+from ..api.backends import CrowdBackend, create_backend
+from ..api.events import ProgressEvent, drain_stream
 from ..crowd.traces import default_simulation_population
 from ..crowd.worker import WorkerPopulation
 from ..learning.datasets import Dataset
@@ -52,7 +59,7 @@ class PoolSizeGuidance:
 
 
 class CLAMShell:
-    """End-to-end low-latency crowd labeling system."""
+    """End-to-end low-latency crowd labeling system (legacy facade)."""
 
     def __init__(
         self,
@@ -69,46 +76,102 @@ class CLAMShell:
         )
         self._learner_override = learner
         self._decision_latency = decision_latency
-        self.last_platform: Optional[SimulatedCrowdPlatform] = None
+        self.last_platform: Optional[CrowdBackend] = None
         self.last_batcher: Optional[Batcher] = None
+
+    # -- the new API --------------------------------------------------------------
+
+    def to_job_spec(
+        self,
+        num_records: int = 500,
+        accuracy_target: Optional[float] = None,
+        max_batches: int = 1000,
+    ):
+        """This facade's configuration as an engine-submittable ``JobSpec``."""
+        from ..api.engine import JobSpec
+
+        if self.dataset is None:
+            raise ValueError("a dataset is required to run CLAMShell")
+        return JobSpec(
+            dataset=self.dataset,
+            config=self.config,
+            population=self.population,
+            num_records=num_records,
+            accuracy_target=accuracy_target,
+            max_batches=max_batches,
+            learner_factory=self.build_learner,
+            decision_latency=self._decision_latency,
+        )
+
+    def build_learner(self) -> Optional[BaseLearner]:
+        """The learner one run uses (the override, or a fresh one per config)."""
+        if self._learner_override is not None:
+            return self._learner_override
+        if self.dataset is None or self.config.learning_strategy == LearningStrategy.NONE:
+            return None
+        if self.config.learning_strategy == LearningStrategy.PASSIVE:
+            return make_learner("passive", self.dataset, seed=self.config.seed)
+        return make_learner(
+            self.config.learning_strategy.value,
+            self.dataset,
+            seed=self.config.seed,
+            candidate_sample_size=self.config.candidate_sample_size,
+        )
 
     # -- running -----------------------------------------------------------------
 
-    def build_platform(self) -> SimulatedCrowdPlatform:
-        """A fresh simulated crowd platform for one run."""
-        num_classes = self.dataset.num_classes if self.dataset is not None else 2
-        return SimulatedCrowdPlatform(
-            population=self.population,
-            seed=self.config.seed,
-            num_classes=num_classes,
-            abandonment_rate=self.config.abandonment_rate,
-        )
+    def run_iter(
+        self,
+        num_records: int = 500,
+        accuracy_target: Optional[float] = None,
+        max_batches: int = 1000,
+    ) -> Iterator[ProgressEvent]:
+        """Stream the run: one :class:`ProgressEvent` per batch.
 
-    def build_batcher(self) -> Batcher:
-        """A fresh Batcher (and platform) wired from the configuration."""
+        The platform and batcher are wired eagerly (so ``last_platform`` /
+        ``last_batcher`` are set as soon as this returns); the final event
+        carries the same :class:`RunResult` that :meth:`run` returns.
+
+        Subclasses that still override the deprecated ``build_platform`` /
+        ``build_batcher`` hooks keep working: their overrides are honoured
+        here (with the construction routed through them) until removed.
+        """
+        from ..api.engine import build_run
+
         if self.dataset is None:
             raise ValueError("a dataset is required to run CLAMShell")
-        platform = self.build_platform()
-        learner = self._learner_override
-        if learner is None and self.config.learning_strategy != LearningStrategy.NONE:
-            learner = make_learner(
-                self.config.learning_strategy.value,
-                self.dataset,
-                seed=self.config.seed,
-                candidate_sample_size=self.config.candidate_sample_size,
-            ) if self.config.learning_strategy != LearningStrategy.PASSIVE else make_learner(
-                "passive", self.dataset, seed=self.config.seed
+
+        overrides_batcher = type(self).build_batcher is not CLAMShell.build_batcher
+        overrides_platform = type(self).build_platform is not CLAMShell.build_platform
+        if overrides_batcher:
+            batcher = self.build_batcher()
+            self.last_platform = batcher.platform
+            self.last_batcher = batcher
+        elif overrides_platform:
+            platform = self.build_platform()
+            batcher = Batcher(
+                config=self.config,
+                dataset=self.dataset,
+                platform=platform,
+                learner=self.build_learner(),
+                decision_latency=self._decision_latency,
             )
-        batcher = Batcher(
-            config=self.config,
-            dataset=self.dataset,
-            platform=platform,
-            learner=learner,
-            decision_latency=self._decision_latency,
+            self.last_platform = platform
+            self.last_batcher = batcher
+        else:
+            spec = self.to_job_spec(
+                num_records=num_records,
+                accuracy_target=accuracy_target,
+                max_batches=max_batches,
+            )
+            platform, batcher = build_run(spec)
+            self.last_platform = platform
+            self.last_batcher = batcher
+        return batcher.run_iter(
+            num_records=num_records,
+            accuracy_target=accuracy_target,
+            max_batches=max_batches,
         )
-        self.last_platform = platform
-        self.last_batcher = batcher
-        return batcher
 
     def run(
         self,
@@ -117,12 +180,60 @@ class CLAMShell:
         max_batches: int = 1000,
     ) -> RunResult:
         """Label ``num_records`` records (or stop at ``accuracy_target``)."""
-        batcher = self.build_batcher()
-        return batcher.run(
-            num_records=num_records,
-            accuracy_target=accuracy_target,
-            max_batches=max_batches,
+        return drain_stream(
+            self.run_iter(
+                num_records=num_records,
+                accuracy_target=accuracy_target,
+                max_batches=max_batches,
+            )
         )
+
+    # -- deprecated construction hooks ---------------------------------------------
+
+    def build_platform(self) -> CrowdBackend:
+        """A fresh crowd platform for one run.
+
+        .. deprecated:: 1.1
+           Platforms are now created through the crowd-backend registry; use
+           ``repro.api.create_backend(config.backend, ...)`` or submit a
+           :meth:`to_job_spec` to an :class:`~repro.api.engine.Engine`.
+        """
+        warnings.warn(
+            "CLAMShell.build_platform() is deprecated; platforms are created "
+            "through the repro.api backend registry (create_backend) or by "
+            "submitting to_job_spec() to an Engine",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        num_classes = self.dataset.num_classes if self.dataset is not None else 2
+        return create_backend(
+            self.config.backend,
+            population=self.population,
+            seed=self.config.seed,
+            num_classes=num_classes,
+            abandonment_rate=self.config.abandonment_rate,
+        )
+
+    def build_batcher(self) -> Batcher:
+        """A fresh Batcher (and platform) wired from the configuration.
+
+        .. deprecated:: 1.1
+           Superseded by the engine API: submit :meth:`to_job_spec` to an
+           :class:`~repro.api.engine.Engine`, or use :meth:`run_iter` for the
+           event stream.
+        """
+        warnings.warn(
+            "CLAMShell.build_batcher() is deprecated; submit to_job_spec() to "
+            "a repro.api Engine, or use CLAMShell.run_iter() for streaming",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from ..api.engine import build_run
+
+        platform, batcher = build_run(self.to_job_spec())
+        self.last_platform = platform
+        self.last_batcher = batcher
+        return batcher
 
     # -- guidance ------------------------------------------------------------------
 

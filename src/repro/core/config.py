@@ -120,6 +120,9 @@ class CLAMShellConfig:
     #: beta in the Problem-1 objective: preference for speed over cost.
     latency_cost_tradeoff: float = 0.9
     seed: int = 0
+    #: Name of the crowd backend runs execute against, resolved through the
+    #: ``repro.api`` backend registry ("simulated" is the built-in platform).
+    backend: str = "simulated"
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -148,6 +151,8 @@ class CLAMShellConfig:
             raise ValueError("candidate_sample_size must be >= 1")
         if not 0.0 <= self.latency_cost_tradeoff <= 1.0:
             raise ValueError("latency_cost_tradeoff must be in [0, 1]")
+        if not self.backend or not isinstance(self.backend, str):
+            raise ValueError("backend must be a non-empty string")
 
     # --- derived quantities -------------------------------------------------------------
 

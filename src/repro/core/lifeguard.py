@@ -12,8 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..api.backends import CrowdBackend
 from ..crowd.events import EventKind
-from ..crowd.platform import SimulatedCrowdPlatform
 from ..crowd.tasks import Batch, Task
 from .maintainer import PoolMaintainer
 from .mitigator import StragglerMitigator
@@ -66,7 +66,7 @@ class LifeGuard:
 
     def __init__(
         self,
-        platform: SimulatedCrowdPlatform,
+        platform: CrowdBackend,
         mitigator: StragglerMitigator,
         maintainer: Optional[PoolMaintainer] = None,
         maintain_during_batch: bool = True,

@@ -28,7 +28,7 @@ from typing import Callable, Optional
 import numpy as np
 from scipy import stats
 
-from ..crowd.platform import SimulatedCrowdPlatform
+from ..api.backends import CrowdBackend
 from ..crowd.worker import WorkerObservations
 from .termest import NaiveLatencyEstimator, TermEst
 
@@ -146,7 +146,7 @@ class PoolMaintainer:
             return False
         return True
 
-    def flag_slow_workers(self, platform: SimulatedCrowdPlatform) -> list[int]:
+    def flag_slow_workers(self, platform: CrowdBackend) -> list[int]:
         """Ids of current pool workers the decision rule flags as slow."""
         flagged = []
         for worker_id, observations in platform.pool.all_observations().items():
@@ -158,7 +158,7 @@ class PoolMaintainer:
 
     def maintain(
         self,
-        platform: SimulatedCrowdPlatform,
+        platform: CrowdBackend,
         batch_index: Optional[int] = None,
     ) -> list[ReplacementEvent]:
         """Evict every flagged worker, seating reserve replacements.

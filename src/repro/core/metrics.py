@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..crowd.platform import SimulatedCrowdPlatform
+from ..api.backends import CrowdBackend
 from .config import PayRates
 
 
@@ -39,7 +39,7 @@ class CostModel:
         """Cost of keeping background recruits on retainer until they are seated."""
         return self.rates.waiting_per_minute * recruitment_seconds / 60.0
 
-    def total_cost(self, platform: SimulatedCrowdPlatform) -> float:
+    def total_cost(self, platform: CrowdBackend) -> float:
         """Total dollars spent on a run, from the platform's raw counters."""
         waiting = platform.pool.total_waiting_seconds()
         return (

@@ -12,13 +12,14 @@ can be passed explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
-from ..core.batcher import Batcher, RunResult
+from ..api.engine import Engine, JobSpec
+from ..api.events import ProgressEvent
+from ..core.batcher import RunResult
 from ..core.config import CLAMShellConfig
-from ..crowd.platform import SimulatedCrowdPlatform
 from ..crowd.traces import default_simulation_population
 from ..crowd.worker import PopulationParameters, WorkerPopulation
 from ..learning.datasets import Dataset
@@ -109,22 +110,26 @@ def run_configuration(
     seed: Optional[int] = None,
     max_batches: int = 1000,
     accuracy_target: Optional[float] = None,
+    on_event: Optional[Callable[[ProgressEvent], None]] = None,
 ) -> ExperimentRun:
-    """Run one configuration against a fresh platform and collect the outcome."""
+    """Run one configuration against a fresh platform and collect the outcome.
+
+    Execution goes through the :mod:`repro.api` engine; pass ``on_event`` to
+    observe the per-batch :class:`ProgressEvent` stream while the run
+    advances.
+    """
     population = population or mixed_speed_population(seed=config.seed)
-    platform_seed = config.seed if seed is None else seed
-    platform = SimulatedCrowdPlatform(
+    spec = JobSpec(
+        dataset=dataset,
+        config=config,
         population=population,
-        seed=platform_seed,
-        num_classes=dataset.num_classes,
-        abandonment_rate=config.abandonment_rate,
-    )
-    batcher = Batcher(config=config, dataset=dataset, platform=platform)
-    result = batcher.run(
         num_records=num_records,
-        max_batches=max_batches,
         accuracy_target=accuracy_target,
+        max_batches=max_batches,
+        seed=seed,
+        name=label or config.describe(),
     )
+    result = Engine().run(spec, on_event=on_event)
     return ExperimentRun(
         label=label or config.describe(), config=config, result=result
     )

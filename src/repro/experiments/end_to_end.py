@@ -18,9 +18,11 @@ standard deviation of batch labeling time by ~151x (3.1 s vs 475 s).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
+
+from ..api.events import ProgressEvent
 
 from ..core.config import CLAMShellConfig, baseline_no_retainer, baseline_retainer, full_clamshell
 from ..core.metrics import speedup_factor, variance_reduction_factor
@@ -129,11 +131,14 @@ def run_end_to_end_experiment(
     pool_size: int = 10,
     population: Optional[WorkerPopulation] = None,
     seed: int = 0,
+    on_event: Optional[Callable[[str, ProgressEvent], None]] = None,
 ) -> EndToEndResult:
     """Run the §6.6 comparison.
 
     The paper labels 500 points per strategy; the default here is 200 to keep
     the benchmark quick — pass ``num_records=500`` for the paper-scale run.
+    ``on_event`` (optional) observes every run's per-batch
+    :class:`ProgressEvent` stream, called with the run label and the event.
     """
     if datasets is None:
         datasets = [
@@ -145,13 +150,18 @@ def run_end_to_end_experiment(
         comparison = EndToEndComparison(dataset_name=dataset.name)
         for name, config in strategy_configs(pool_size=pool_size, seed=seed).items():
             pop = population or mixed_speed_population(seed=seed)
+            label = f"{dataset.name}/{name}"
+            observer = None
+            if on_event is not None:
+                observer = lambda event, _label=label: on_event(_label, event)
             comparison.runs[name] = run_configuration(
                 config,
                 dataset,
                 population=pop,
                 num_records=num_records,
-                label=f"{dataset.name}/{name}",
+                label=label,
                 seed=seed,
+                on_event=observer,
             )
         result.comparisons.append(comparison)
     return result

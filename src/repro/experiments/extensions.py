@@ -22,10 +22,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..api.backends import create_backend
 from ..core.batcher import Batcher
 from ..core.config import CLAMShellConfig, LearningStrategy
 from ..core.maintainer import MaintenancePolicy, PoolMaintainer
-from ..crowd.platform import SimulatedCrowdPlatform
 from ..crowd.worker import PopulationParameters, WorkerObservations, WorkerPopulation
 from ..learning.datasets import make_cifar_like
 from ..learning.learners import HybridLearner
@@ -130,7 +130,9 @@ def run_quality_maintenance_experiment(
 
     def run_one(name: str, maintainer_kind: str) -> None:
         population = accuracy_population(seed=seed)
-        platform = SimulatedCrowdPlatform(population=population, seed=seed, num_classes=2)
+        platform = create_backend(
+            "simulated", population=population, seed=seed, num_classes=2
+        )
         config = CLAMShellConfig(
             pool_size=pool_size,
             votes_required=votes_required,
@@ -239,8 +241,8 @@ def run_reweighting_ablation(
             candidate_sample_size=200,
             seed=seed,
         )
-        platform = SimulatedCrowdPlatform(
-            population=population, seed=seed, num_classes=dataset.num_classes
+        platform = create_backend(
+            "simulated", population=population, seed=seed, num_classes=dataset.num_classes
         )
         learner = HybridLearner(
             dataset, seed=seed, candidate_sample_size=200, active_weight_boost=boost

@@ -1,0 +1,266 @@
+"""Tests for the repro.api layer: backends registry, Engine, streaming jobs."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import (
+    CrowdBackend,
+    Engine,
+    JobSpec,
+    JobStatus,
+    ProgressKind,
+    available_backends,
+    create_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.core.clamshell import CLAMShell
+from repro.core.config import CLAMShellConfig, full_clamshell
+from repro.crowd.worker import WorkerProfile, WorkerPopulation
+from repro.learning.datasets import make_classification
+
+
+def make_population(seed: int = 0) -> WorkerPopulation:
+    """A fresh deterministic population (populations are stateful, so facade
+    vs engine comparisons need equal-but-distinct instances)."""
+    profiles = [
+        WorkerProfile(
+            worker_id=index,
+            mean_latency=4.0 + (index % 5) * 6.0,
+            latency_std=1.0 + 0.2 * (4.0 + (index % 5) * 6.0),
+            accuracy=0.92,
+        )
+        for index in range(20)
+    ]
+    return WorkerPopulation(profiles=profiles, seed=seed)
+
+
+@pytest.fixture
+def dataset():
+    return make_classification(
+        n_samples=400, n_features=12, n_informative=6, class_sep=2.0, flip_y=0.0, seed=1
+    )
+
+
+class TestBackendRegistry:
+    def test_simulated_backend_registered_by_default(self):
+        assert "simulated" in available_backends()
+
+    def test_created_backend_satisfies_protocol(self):
+        platform = create_backend(
+            "simulated", population=make_population(), seed=0, num_classes=2
+        )
+        assert isinstance(platform, CrowdBackend)
+
+    def test_unknown_backend_is_a_helpful_error(self, dataset):
+        with pytest.raises(KeyError, match="unknown crowd backend"):
+            create_backend("mturk-live")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("simulated", lambda **kw: None)
+
+    def test_default_backend_cannot_be_removed(self):
+        with pytest.raises(ValueError):
+            unregister_backend("simulated")
+
+    def test_config_carries_backend_name(self):
+        assert full_clamshell().backend == "simulated"
+        with pytest.raises(ValueError):
+            CLAMShellConfig(backend="")
+
+
+class TestStreaming:
+    def test_stream_yields_one_event_per_batch_and_matches_facade(self, dataset):
+        config = full_clamshell(pool_size=6, seed=3)
+        blocking = CLAMShell(
+            config=config, dataset=dataset, population=make_population()
+        ).run(num_records=40)
+
+        streaming = CLAMShell(
+            config=config, dataset=dataset, population=make_population()
+        )
+        events = list(streaming.run_iter(num_records=40))
+
+        assert events[0].kind is ProgressKind.RUN_STARTED
+        final = events[-1]
+        assert final.kind is ProgressKind.RUN_FINISHED
+        batch_events = [e for e in events if e.kind is ProgressKind.BATCH_COMPLETED]
+        assert len(batch_events) >= 1
+        assert len(batch_events) == len(final.result.batch_outcomes)
+
+        # The union of per-batch labels is the final label set, and labels
+        # accumulate monotonically.
+        streamed_labels: dict[int, int] = {}
+        last_total = 0
+        for event in batch_events:
+            streamed_labels.update(event.new_labels)
+            assert event.records_labeled >= last_total
+            last_total = event.records_labeled
+        assert streamed_labels == final.result.labels
+
+        # Same seed, fresh equal populations: streaming == blocking facade.
+        assert final.result.labels == blocking.labels
+        assert final.result.final_accuracy == blocking.final_accuracy
+        assert (
+            final.result.metrics.total_wall_clock == blocking.metrics.total_wall_clock
+        )
+
+    def test_engine_run_matches_facade(self, dataset):
+        config = full_clamshell(pool_size=6, seed=7)
+        facade = CLAMShell(
+            config=config, dataset=dataset, population=make_population()
+        )
+        blocking = facade.run(num_records=30)
+
+        spec = CLAMShell(
+            config=config, dataset=dataset, population=make_population()
+        ).to_job_spec(num_records=30)
+        engine_result = Engine().run(spec)
+        assert engine_result.labels == blocking.labels
+        assert engine_result.metrics.total_wall_clock == blocking.metrics.total_wall_clock
+
+    def test_job_stream_replays_history_for_late_subscribers(self, dataset):
+        spec = JobSpec(
+            dataset=dataset,
+            config=full_clamshell(pool_size=5, seed=1),
+            population=make_population(),
+            num_records=20,
+        )
+        with Engine(max_workers=2) as engine:
+            job = engine.submit(spec)
+            result = job.result(timeout=120)
+            late_events = list(job.stream())
+        assert job.status is JobStatus.SUCCEEDED
+        assert late_events[-1].result is result
+        assert late_events == job.events()
+
+    def test_failed_job_raises_through_handle(self):
+        bad_dataset = make_classification(n_samples=50, n_features=4, seed=0)
+        spec = JobSpec(dataset=bad_dataset, num_records=10, backend="does-not-exist")
+        with Engine(max_workers=1) as engine:
+            job = engine.submit(spec)
+            with pytest.raises(KeyError, match="unknown crowd backend"):
+                job.result(timeout=60)
+            assert job.status is JobStatus.FAILED
+
+
+class TestRunMany:
+    def test_run_many_is_deterministic_per_job(self, dataset):
+        specs = [
+            JobSpec(
+                dataset=dataset,
+                config=full_clamshell(pool_size=5, seed=s),
+                num_records=20,
+                name=f"job-{s}",
+            )
+            for s in range(4)
+        ]
+        with Engine(max_workers=4) as engine:
+            first = engine.run_many(specs, timeout=300)
+            second = engine.run_many(specs, timeout=300)
+        assert len(first) == len(second) == 4
+        for a, b in zip(first, second):
+            assert a.labels == b.labels
+            assert a.final_accuracy == b.final_accuracy
+            assert a.metrics.total_wall_clock == b.metrics.total_wall_clock
+
+        # Concurrent execution equals isolated sequential execution.
+        solo = Engine().run(specs[2])
+        assert solo.labels == first[2].labels
+        assert solo.metrics.total_wall_clock == first[2].metrics.total_wall_clock
+
+    def test_four_jobs_run_concurrently_on_a_registered_backend(self, dataset):
+        """A second backend registers without touching core, and the engine
+        really does execute >= 4 jobs at once (the barrier would time out and
+        break otherwise)."""
+        barrier = threading.Barrier(4, timeout=60)
+        created = []
+
+        def gated_simulated(**kwargs):
+            platform = create_backend("simulated", **kwargs)
+            original = platform.initialize_pool
+
+            def initialize_pool(size):
+                barrier.wait()  # blocks until 4 jobs are inside initialize_pool
+                return original(size)
+
+            platform.initialize_pool = initialize_pool
+            created.append(platform)
+            return platform
+
+        register_backend("gated-simulated", gated_simulated)
+        try:
+            specs = [
+                JobSpec(
+                    dataset=dataset,
+                    config=full_clamshell(pool_size=4, seed=s),
+                    num_records=10,
+                    backend="gated-simulated",
+                )
+                for s in range(4)
+            ]
+            with Engine(max_workers=4) as engine:
+                results = engine.run_many(specs, timeout=300)
+                assert engine.concurrency_high_water >= 4
+        finally:
+            unregister_backend("gated-simulated")
+
+        assert len(created) == 4
+        assert all(r.metrics.records_labeled == 10 for r in results)
+
+
+class TestEngineLifecycle:
+    def test_submit_after_close_raises(self, dataset):
+        engine = Engine(max_workers=1)
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed Engine"):
+            engine.submit(JobSpec(dataset=dataset, num_records=5))
+
+    def test_inline_run_still_works_after_close(self, dataset):
+        engine = Engine(max_workers=1)
+        engine.close()
+        spec = JobSpec(
+            dataset=dataset,
+            config=full_clamshell(pool_size=4, seed=0),
+            population=make_population(),
+            num_records=5,
+        )
+        assert engine.run(spec).metrics.records_labeled == 5
+
+
+class TestLegacySubclassHooks:
+    def test_overridden_build_platform_is_still_honoured(self, dataset):
+        calls = []
+
+        class CustomPlatform(CLAMShell):
+            def build_platform(self):
+                calls.append("platform")
+                return create_backend(
+                    "simulated",
+                    population=self.population,
+                    seed=self.config.seed,
+                    num_classes=self.dataset.num_classes,
+                )
+
+        system = CustomPlatform(
+            config=full_clamshell(pool_size=5, seed=0),
+            dataset=dataset,
+            population=make_population(),
+        )
+        result = system.run(num_records=10)
+        assert calls == ["platform"]
+        assert len(result.labels) == 10
+        assert system.last_platform is not None
+
+
+class TestDeprecations:
+    def test_build_platform_and_batcher_warn(self, dataset):
+        system = CLAMShell(dataset=dataset, population=make_population())
+        with pytest.deprecated_call():
+            system.build_platform()
+        with pytest.deprecated_call():
+            system.build_batcher()
