@@ -43,7 +43,15 @@ from .events import ProgressEvent, ProgressKind
 
 #: Names served lazily from :mod:`repro.api.engine` (PEP 562).
 _ENGINE_EXPORTS = frozenset(
-    {"Engine", "JobSpec", "JobStatus", "LabelingJob", "build_run"}
+    {
+        "Engine",
+        "ExecutionStats",
+        "JobSpec",
+        "JobStatus",
+        "LabelingJob",
+        "build_run",
+        "collect_stats",
+    }
 )
 
 __all__ = [
@@ -51,6 +59,7 @@ __all__ = [
     "CrowdBackend",
     "DEFAULT_BACKEND",
     "Engine",
+    "ExecutionStats",
     "JobSpec",
     "JobStatus",
     "LabelingJob",
@@ -59,6 +68,7 @@ __all__ = [
     "available_backends",
     "backend_factory",
     "build_run",
+    "collect_stats",
     "create_backend",
     "register_backend",
     "unregister_backend",

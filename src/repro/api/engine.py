@@ -20,6 +20,7 @@ deterministic.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import threading
 import time
@@ -36,7 +37,7 @@ from ..learning.datasets import Dataset
 from ..learning.learners import BaseLearner
 from ..learning.retrainer import DecisionLatencyModel
 from .backends import CrowdBackend, create_backend
-from .events import ProgressEvent, ProgressKind, drain_stream
+from .events import ProgressEvent, drain_stream
 
 
 @dataclass(frozen=True)
@@ -115,6 +116,63 @@ def build_run(spec: JobSpec) -> tuple[CrowdBackend, Batcher]:
         decision_latency=spec.decision_latency,
     )
     return platform, batcher
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Simulator-side measurements of one completed run.
+
+    Collected by :meth:`Engine.run_with_stats` from the platform after the
+    run drains.  These are the quantities the benchmark subsystem
+    (:mod:`repro.bench`) serialises: they describe how much simulation the
+    run performed, independent of the wall-clock time it took.
+    """
+
+    #: Simulation seconds the run covered (the platform clock at the end).
+    sim_seconds: float
+    #: Events popped from the platform's event queue during the run.
+    events_processed: int
+    #: Events scheduled onto the queue during the run.
+    events_scheduled: int
+    #: Records the run produced consensus labels for.
+    labels: int
+    #: Total dollars spent (waiting + labeling + recruitment).
+    total_cost: float
+    #: Raw platform counters (assignments, recruitment, abandonment, ...)
+    #: plus the pool's accrued waiting/working seconds.
+    counters: dict[str, float]
+
+    def merged_with(self, other: "ExecutionStats") -> "ExecutionStats":
+        """Aggregate stats across independent runs (sums everywhere)."""
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0) + value
+        return ExecutionStats(
+            sim_seconds=self.sim_seconds + other.sim_seconds,
+            events_processed=self.events_processed + other.events_processed,
+            events_scheduled=self.events_scheduled + other.events_scheduled,
+            labels=self.labels + other.labels,
+            total_cost=self.total_cost + other.total_cost,
+            counters=counters,
+        )
+
+
+def collect_stats(platform: CrowdBackend, result: RunResult) -> ExecutionStats:
+    """Read an :class:`ExecutionStats` off a platform after a finished run."""
+    counters = {
+        key: float(value)
+        for key, value in dataclasses.asdict(platform.counters).items()
+    }
+    counters["waiting_seconds"] = float(platform.pool.total_waiting_seconds())
+    counters["working_seconds"] = float(platform.pool.total_working_seconds())
+    return ExecutionStats(
+        sim_seconds=float(platform.now),
+        events_processed=platform.queue.events_processed,
+        events_scheduled=platform.queue.events_scheduled,
+        labels=result.metrics.records_labeled,
+        total_cost=float(result.total_cost),
+        counters=counters,
+    )
 
 
 class JobStatus(Enum):
@@ -271,6 +329,28 @@ class Engine:
         produced — the streaming and blocking APIs share one code path.
         """
         return drain_stream(self.stream(spec), on_event=on_event)
+
+    def run_with_stats(
+        self,
+        spec: JobSpec,
+        on_event: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> tuple[RunResult, ExecutionStats]:
+        """Execute ``spec`` inline and also return simulator-side stats.
+
+        This is the entry point the benchmark subsystem uses: it exposes the
+        platform's event/cost counters without callers reaching into the
+        backend's internals.
+        """
+        platform, batcher = build_run(spec)
+        result = drain_stream(
+            batcher.run_iter(
+                num_records=spec.num_records,
+                accuracy_target=spec.accuracy_target,
+                max_batches=spec.max_batches,
+            ),
+            on_event=on_event,
+        )
+        return result, collect_stats(platform, result)
 
     # -- concurrent execution ---------------------------------------------
 

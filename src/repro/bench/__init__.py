@@ -1,0 +1,61 @@
+"""repro.bench — the machine-readable benchmark subsystem.
+
+CLAMShell's contribution is latency, so the repo needs a perf trajectory:
+this package runs named workloads (registered in
+:mod:`repro.bench.workloads`) with warmup/repeat control, writes a stable
+``BENCH_<workload>.json`` schema, and compares documents across commits so
+CI can fail on a throughput regression.
+
+Quickstart::
+
+    from repro.bench import run_benchmark, write_result, compare_files
+
+    result = run_benchmark("scale", seed=0, repeat=3, warmup=1)
+    write_result(result, "BENCH_scale.json")
+    report = compare_files("benchmarks/baselines/BENCH_scale.json",
+                           "BENCH_scale.json", max_regression=0.30)
+    assert report.passed
+
+or from the command line::
+
+    repro bench scale --json BENCH_scale.json --repeat 3
+    repro bench compare benchmarks/baselines/BENCH_scale.json BENCH_scale.json
+"""
+
+from .compare import ComparisonReport, compare_documents, compare_files
+from .registry import (
+    WorkloadOutcome,
+    WorkloadSpec,
+    available_workloads,
+    get_workload,
+    register_workload,
+    workload_specs,
+)
+from .runner import (
+    SCHEMA_VERSION,
+    BenchmarkResult,
+    default_json_path,
+    load_result,
+    run_benchmark,
+    validate_document,
+    write_result,
+)
+
+__all__ = [
+    "BenchmarkResult",
+    "ComparisonReport",
+    "SCHEMA_VERSION",
+    "WorkloadOutcome",
+    "WorkloadSpec",
+    "available_workloads",
+    "compare_documents",
+    "compare_files",
+    "default_json_path",
+    "get_workload",
+    "load_result",
+    "register_workload",
+    "run_benchmark",
+    "validate_document",
+    "workload_specs",
+    "write_result",
+]

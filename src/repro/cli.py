@@ -5,16 +5,21 @@ Usage::
     python -m repro list
     python -m repro run fig11 --seed 1
     python -m repro run e2e --num-records 500
+    python -m repro bench scale --json BENCH_scale.json --repeat 3
+    python -m repro bench compare baselines/BENCH_scale.json BENCH_scale.json
 
 Each experiment name maps to one paper artifact (see DESIGN.md); ``run``
-executes the driver and prints the reproduced table.  This is a thin wrapper
-over :mod:`repro.experiments` for users who want the figures without writing
-Python.
+executes the driver and prints the reproduced table.  ``bench`` executes the
+machine-readable benchmark workloads of :mod:`repro.bench` and the scripted
+baseline comparator that backs the CI perf-regression gate.  This is a thin
+wrapper over :mod:`repro.experiments` / :mod:`repro.bench` for users who
+want the figures and numbers without writing Python.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Callable, Optional, Sequence
 
 from . import __version__
@@ -198,6 +203,121 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[int, int], None]]] = {
 }
 
 
+def _parse_param(raw: str) -> tuple[str, object]:
+    """Parse one ``--param key=value`` override (value is JSON, else string)."""
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(
+            f"--param expects key=value, got {raw!r}"
+        )
+    key, _, value = raw.partition("=")
+    key = key.strip()
+    if not key:
+        raise argparse.ArgumentTypeError(f"--param has an empty key: {raw!r}")
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def _add_bench_parser(subparsers: argparse._SubParsersAction) -> None:
+    from .bench import workload_specs
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run machine-readable benchmarks / compare against baselines",
+        description=(
+            "Run a named benchmark workload and optionally write the stable "
+            "BENCH_<workload>.json document, or compare two such documents "
+            "(the CI perf-regression gate)."
+        ),
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command", required=True)
+
+    bench_sub.add_parser("list", help="list available benchmark workloads")
+
+    compare_parser = bench_sub.add_parser(
+        "compare", help="compare a current BENCH json against a baseline"
+    )
+    compare_parser.add_argument("baseline", help="path to the baseline BENCH json")
+    compare_parser.add_argument("current", help="path to the current BENCH json")
+    compare_parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="fail when throughput falls below (1 - this) of baseline (default 0.30)",
+    )
+    compare_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="additionally require identical simulated outcomes for equal seeds",
+    )
+
+    for spec in workload_specs():
+        workload_parser = bench_sub.add_parser(
+            spec.name, help=spec.description or f"run the {spec.name} workload"
+        )
+        workload_parser.add_argument(
+            "--seed", type=int, default=0, help="random seed (default 0)"
+        )
+        workload_parser.add_argument(
+            "--repeat", type=int, default=3, help="timed repetitions (default 3)"
+        )
+        workload_parser.add_argument(
+            "--warmup", type=int, default=1, help="discarded warmup runs (default 1)"
+        )
+        workload_parser.add_argument(
+            "--json",
+            dest="json_path",
+            metavar="PATH",
+            default=None,
+            help="write the BENCH json document to PATH",
+        )
+        workload_parser.add_argument(
+            "--param",
+            action="append",
+            type=_parse_param,
+            default=[],
+            metavar="KEY=VALUE",
+            help="override a workload parameter (value parsed as JSON; repeatable)",
+        )
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    from .bench import compare_files, run_benchmark, workload_specs, write_result
+
+    if args.bench_command == "list":
+        for spec in workload_specs():
+            defaults = ", ".join(f"{k}={v}" for k, v in spec.defaults.items())
+            suffix = f" [{defaults}]" if defaults else ""
+            print(f"{spec.name:<12} {spec.description}{suffix}")
+        return 0
+
+    if args.bench_command == "compare":
+        report = compare_files(
+            args.baseline,
+            args.current,
+            max_regression=args.max_regression,
+            strict=args.strict,
+        )
+        for line in report.summary_lines():
+            print(line)
+        return 0 if report.passed else 1
+
+    result = run_benchmark(
+        args.bench_command,
+        seed=args.seed,
+        repeat=args.repeat,
+        warmup=args.warmup,
+        params=dict(args.param),
+    )
+    for line in result.summary_lines():
+        print(line)
+    if args.json_path:
+        path = write_result(result, args.json_path)
+        print(f"wrote {path}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -222,6 +342,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-batch progress lines while the runs advance (e2e only)",
     )
+    _add_bench_parser(subparsers)
     return parser
 
 
@@ -231,6 +352,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name, (description, _) in sorted(EXPERIMENTS.items()):
             print(f"{name:<14} {description}")
         return 0
+    if args.command == "bench":
+        return _run_bench(args)
     description, runner = EXPERIMENTS[args.experiment]
     print(f"Running: {description} (seed={args.seed})")
     if args.experiment == "e2e":

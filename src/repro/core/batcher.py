@@ -18,7 +18,7 @@ is a thin wrapper that drains the stream and returns the final result.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Optional
 
 import numpy as np
 

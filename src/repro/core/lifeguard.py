@@ -102,11 +102,19 @@ class LifeGuard:
             completed_at=platform.now,
         )
         completed_durations: list[float] = []
+        #: Memoized per-task consensus: each task's votes are aggregated
+        #: exactly once, at the moment it completes (answers are immutable
+        #: afterwards), instead of re-running the vote over every task's
+        #: answer list at the end of the batch.
+        consensus_by_task: dict[int, dict[int, int]] = {}
 
         self._dispatch_available_workers(batch)
+        # Tracked incrementally: `batch.is_complete` scans every task, and
+        # this loop runs once per simulation event.
+        tasks_remaining = sum(1 for task in batch.tasks if not task.is_complete)
         guard = 0
         max_events = 200_000
-        while not batch.is_complete:
+        while tasks_remaining > 0:
             guard += 1
             if guard > max_events:
                 raise RuntimeError(
@@ -131,11 +139,15 @@ class LifeGuard:
             task = platform.task_for_assignment(assignment)
             labels = platform.complete_assignment(assignment)
             completed_durations.append(assignment.duration)
-            if not task.is_complete:
+            was_complete = task.is_complete
+            if not was_complete:
                 task.record_answer(assignment.worker_id, labels, platform.now)
             if task.is_complete:
+                if not was_complete:
+                    tasks_remaining -= 1
                 self._terminate_losing_assignments(task, assignment.duration)
                 outcome.completion_times.append((platform.now, task.num_records))
+                consensus_by_task[task.task_id] = self._aggregate_task_labels(task)
             if self.maintainer is not None and self.maintain_during_batch:
                 events = self.maintainer.maintain(platform, batch_index=batch_index)
                 outcome.workers_replaced += len(events)
@@ -152,7 +164,18 @@ class LifeGuard:
             if self.pool_target_size is not None:
                 platform.refill_pool(self.pool_target_size)
 
-        outcome.labels = self._consensus_labels(batch)
+        # Merge the memoized per-task votes in batch order, matching the
+        # insertion order the full end-of-batch rescan used to produce (the
+        # learner consumes this dict in insertion order).
+        labels: dict[int, int] = {}
+        for task in batch.tasks:
+            if not task.answers:
+                continue
+            cached = consensus_by_task.get(task.task_id)
+            if cached is None:
+                cached = self._aggregate_task_labels(task)
+            labels.update(cached)
+        outcome.labels = labels
         outcome.task_latencies = batch.task_latencies()
         outcome.assignment_records = self._assignment_records(batch, batch_index)
         outcome.assignments_started = (
@@ -229,18 +252,29 @@ class LifeGuard:
         self._dispatch_available_workers(batch)
         return platform.counters.assignments_started > before
 
-    def _consensus_labels(self, batch: Batch) -> dict[int, int]:
-        """Record id -> consensus label for every completed task in the batch."""
+    @staticmethod
+    def _aggregate_task_labels(task: Task) -> dict[int, int]:
+        """Record id -> consensus label over one task's completed answers.
+
+        Called once per task, when it completes (answers cannot change after
+        completion), and memoized by :meth:`run_batch`.
+        """
         labels: dict[int, int] = {}
-        for task in batch.tasks:
-            if not task.answers:
-                continue
-            per_record_answers: list[list[int]] = [[] for _ in task.record_ids]
-            for _, answer_labels, _ in task.answers:
-                for position, label in enumerate(answer_labels):
-                    per_record_answers[position].append(label)
-            for record_id, answers in zip(task.record_ids, per_record_answers):
-                labels[record_id] = majority_vote(answers, tie_break="first")
+        if not task.answers:
+            return labels
+        if len(task.answers) == 1:
+            # Single answer (quality control off, the default): the vote is
+            # the answer; skip the Counter machinery entirely.
+            _, answer_labels, _ = task.answers[0]
+            for record_id, label in zip(task.record_ids, answer_labels):
+                labels[record_id] = int(label)
+            return labels
+        per_record_answers: list[list[int]] = [[] for _ in task.record_ids]
+        for _, answer_labels, _ in task.answers:
+            for position, label in enumerate(answer_labels):
+                per_record_answers[position].append(label)
+        for record_id, answers in zip(task.record_ids, per_record_answers):
+            labels[record_id] = majority_vote(answers, tie_break="first")
         return labels
 
     def _assignment_records(

@@ -22,7 +22,7 @@ paragraph of §4.2): worker quality instead of speed, or a weighted blend.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np

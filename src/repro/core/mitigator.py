@@ -25,7 +25,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..crowd.pool import RetainerPool
-from ..crowd.tasks import Batch, Task
+from ..crowd.tasks import AssignmentStatus, Batch, Task, TaskState
 from .config import StragglerRoutingPolicy
 from .quality import votes_needed
 
@@ -66,20 +66,29 @@ class StragglerMitigator:
 
     def _worker_already_involved(self, task: Task, worker_id: int) -> bool:
         """A worker should not hold two assignments (or re-answer) the same task."""
-        if any(a.worker_id == worker_id for a in task.assignments if a.is_active):
-            return True
-        return any(answered_by == worker_id for answered_by, _, _ in task.answers)
+        # Plain loops: this runs for every active task on every dispatch, and
+        # generator frames dominated the profile at scale.
+        for assignment in task.assignments:
+            if (
+                assignment.worker_id == worker_id
+                and assignment.status is AssignmentStatus.ACTIVE
+            ):
+                return True
+        for answered_by, _, _ in task.answers:
+            if answered_by == worker_id:
+                return True
+        return False
 
     def _needs_more_votes(self, task: Task) -> bool:
         """True when quality control still requires answers beyond active work."""
         outstanding = votes_needed(task.votes_required, task.votes_received)
-        return len(task.active_assignments) < outstanding
+        return task.num_active_assignments < outstanding
 
     def _duplicate_allowed(self, task: Task) -> bool:
-        outstanding = votes_needed(task.votes_required, task.votes_received)
-        extra = len(task.active_assignments) - outstanding
         if self.max_extra_assignments is None:
             return True
+        outstanding = votes_needed(task.votes_required, task.votes_received)
+        extra = task.num_active_assignments - outstanding
         return extra < self.max_extra_assignments
 
     # -- selection -----------------------------------------------------------------
@@ -104,32 +113,57 @@ class StragglerMitigator:
         4. (if mitigation is enabled) an active task chosen by the routing
            policy, excluding tasks the worker is already involved in.
         """
-        unassigned = [
-            t for t in batch.unassigned_tasks
-            if not self._worker_already_involved(t, worker_id)
-        ]
-        if unassigned:
-            return unassigned[0]
+        first_unassigned = batch.first_unassigned_task()
+        if first_unassigned is not None:
+            if not first_unassigned.assignments and not first_unassigned.answers:
+                # The common case: a pristine unassigned task involves nobody,
+                # so it is exactly `unassigned-and-uninvolved[0]`.
+                return first_unassigned
+            # Hand-built states (e.g. answers recorded on an unassigned task)
+            # fall back to the full filtered scan.
+            unassigned = [
+                t for t in batch.unassigned_tasks
+                if not self._worker_already_involved(t, worker_id)
+            ]
+            if unassigned:
+                return unassigned[0]
 
-        active = [
-            t for t in batch.active_tasks
-            if not self._worker_already_involved(t, worker_id)
-        ]
+        # One fused scan builds the routed candidate list (active tasks the
+        # worker is not involved in, in batch order) and spots the first
+        # starved task on the way.  The compacting view skips tasks that
+        # finished earlier in the batch, so tail-of-batch duplication scans
+        # only what is still in flight.
+        active: list[Task] = []
+        starved: Optional[Task] = None
+        for task in batch.incomplete_tasks_view():
+            if task.state is not TaskState.ACTIVE:
+                continue
+            if self._worker_already_involved(task, worker_id):
+                continue
+            active.append(task)
+            if starved is None and not task.has_active_assignment:
+                starved = task
         if not active:
             return None
-
-        starved = [t for t in active if not t.active_assignments]
-        if starved:
-            return starved[0]
+        if starved is not None:
+            return starved
 
         if self.decouple_quality_control:
-            under_provisioned = [t for t in active if self._needs_more_votes(t)]
+            # Every candidate here has >= 1 active assignment (no starved
+            # task survived above), so single-vote tasks can never be
+            # under-provisioned; only quality-controlled ones need the check.
+            under_provisioned = [
+                t for t in active if t.votes_required > 1 and self._needs_more_votes(t)
+            ]
             if under_provisioned:
                 return self._route(under_provisioned, pool, now)
 
         if not self.enabled:
             return None
-        duplicable = [t for t in active if self._duplicate_allowed(t)]
+        if self.max_extra_assignments is None:
+            duplicable = active
+        else:
+            duplicable = [t for t in active if self._duplicate_allowed(t)]
         if not duplicable:
             return None
         return self._route(duplicable, pool, now)

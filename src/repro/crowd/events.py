@@ -52,10 +52,26 @@ class Event:
     payload: Any = None
     seq: int = 0
     cancelled: bool = False
+    #: Owning queue, set by :meth:`EventQueue.schedule`, so cancellation can
+    #: keep the queue's live-event counter exact without a heap scan.
+    _queue: Optional["EventQueue"] = field(default=None, repr=False, compare=False)
+    #: Whether the event is still sitting in its queue's heap.
+    _pending: bool = field(default=False, repr=False, compare=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        # Events are heap entries themselves (no wrapper tuples); ordering is
+        # (time, seq), i.e. chronological with deterministic FIFO tie-breaks.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def cancel(self) -> None:
         """Mark the event so the queue will skip it when it is popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._pending and self._queue is not None:
+            self._queue._note_cancelled()
 
 
 class EventQueue:
@@ -67,20 +83,37 @@ class EventQueue:
     """
 
     def __init__(self, start_time: float = 0.0) -> None:
-        self._heap: list[tuple[float, int, Event]] = []
+        self._heap: list[Event] = []
         self._counter = itertools.count()
         self._now = float(start_time)
+        self._events_scheduled = 0
+        self._events_processed = 0
+        #: Number of non-cancelled events currently in the heap.  Maintained
+        #: on push/pop/cancel so ``len(queue)`` / ``bool(queue)`` are O(1);
+        #: the platform's dispatch loop checks liveness once per event, so a
+        #: heap scan here would make the whole simulation quadratic.
+        self._live = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled onto this queue."""
+        return self._events_scheduled
+
+    @property
+    def events_processed(self) -> int:
+        """Total non-cancelled events popped off this queue."""
+        return self._events_processed
+
     def __len__(self) -> int:
-        return sum(1 for _, _, event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return len(self) > 0
+        return self._live > 0
 
     def schedule(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event at absolute simulation ``time``.
@@ -94,7 +127,11 @@ class EventQueue:
             )
         seq = next(self._counter)
         event = Event(time=float(time), kind=kind, payload=payload, seq=seq)
-        heapq.heappush(self._heap, (event.time, seq, event))
+        event._queue = self
+        event._pending = True
+        heapq.heappush(self._heap, event)
+        self._events_scheduled += 1
+        self._live += 1
         return event
 
     def schedule_in(self, delay: float, kind: EventKind, payload: Any = None) -> Event:
@@ -108,15 +145,18 @@ class EventQueue:
         self._drop_cancelled()
         if not self._heap:
             return None
-        return self._heap[0][2]
+        return self._heap[0]
 
     def pop(self) -> Event:
         """Remove and return the next event, advancing the clock to it."""
         self._drop_cancelled()
         if not self._heap:
             raise IndexError("pop from an empty EventQueue")
-        _, _, event = heapq.heappop(self._heap)
+        event = heapq.heappop(self._heap)
+        event._pending = False
         self._now = event.time
+        self._events_processed += 1
+        self._live -= 1
         return event
 
     def advance_to(self, time: float) -> None:
@@ -136,9 +176,16 @@ class EventQueue:
         while self:
             yield self.pop()
 
+    def _note_cancelled(self) -> None:
+        """A pending event was cancelled: it no longer counts as live."""
+        self._live -= 1
+
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0][2].cancelled:
-            heapq.heappop(self._heap)
+        # Cancelled events already left the live count when they were
+        # cancelled; here they only leave the heap.
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)._pending = False
 
 
 @dataclass
@@ -184,8 +231,10 @@ class EventLoop:
         processed = 0
         while self.queue and not should_stop():
             event = self.queue.pop()
-            for handler in self._handlers.get(event.kind, []):
-                handler(event)
+            handlers = self._handlers.get(event.kind)
+            if handlers:
+                for handler in handlers:
+                    handler(event)
             processed += 1
         return processed
 

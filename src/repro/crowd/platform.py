@@ -20,13 +20,13 @@ policy, maintenance thresholds, or learning — those live in ``repro.core``.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from .events import Event, EventKind, EventQueue
-from .pool import RetainerPool, Slot
+from .pool import RetainerPool
 from .recruitment import BackgroundReserve, Recruiter, RecruitmentParameters
 from .tasks import Assignment, AssignmentStatus, Task
 from .worker import WorkerPopulation, WorkerProfile
@@ -173,10 +173,7 @@ class SimulatedCrowdPlatform:
             raise ValueError("assignment is not active")
         task = self._tasks_by_assignment[assignment.assignment_id]
         worker = self.pool.worker(assignment.worker_id)
-        labels = [
-            worker.draw_label(self._rng, true_label, self.num_classes)
-            for true_label in task.true_labels
-        ]
+        labels = worker.draw_labels(self._rng, task.true_labels, self.num_classes)
         assignment.complete(self.now, labels)
         self.pool.mark_available(
             assignment.worker_id,

@@ -13,7 +13,7 @@ and waiting/working time (for cost accounting).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Optional
 
@@ -120,13 +120,19 @@ class RetainerPool:
     # -- availability -------------------------------------------------------
 
     def available_workers(self) -> list[Slot]:
-        return [s for s in self._slots.values() if s.is_available]
+        # Direct state comparison: the dispatch loop calls this once per
+        # simulation event, and the property indirection showed up at scale.
+        return [s for s in self._slots.values() if s.state is SlotState.AVAILABLE]
 
     def active_workers(self) -> list[Slot]:
         return [s for s in self._slots.values() if s.state == SlotState.ACTIVE]
 
     def num_available(self) -> int:
-        return len(self.available_workers())
+        count = 0
+        for slot in self._slots.values():
+            if slot.state is SlotState.AVAILABLE:
+                count += 1
+        return count
 
     def mark_active(self, worker_id: int, assignment_id: int, now: float) -> None:
         """Transition a slot from available to active, accruing waiting time."""

@@ -135,7 +135,27 @@ class Task:
 
     @property
     def active_assignments(self) -> list[Assignment]:
-        return [a for a in self.assignments if a.is_active]
+        return [a for a in self.assignments if a.status is AssignmentStatus.ACTIVE]
+
+    @property
+    def num_active_assignments(self) -> int:
+        """Count of in-flight assignments, without building a list.
+
+        The mitigation scan asks this for every active task on every
+        dispatch, so the allocation-free form matters.
+        """
+        count = 0
+        for assignment in self.assignments:
+            if assignment.status is AssignmentStatus.ACTIVE:
+                count += 1
+        return count
+
+    @property
+    def has_active_assignment(self) -> bool:
+        for assignment in self.assignments:
+            if assignment.status is AssignmentStatus.ACTIVE:
+                return True
+        return False
 
     @property
     def completed_assignments(self) -> list[Assignment]:
@@ -186,6 +206,14 @@ class Batch:
     tasks: list[Task]
     dispatched_at: Optional[float] = None
     completed_at: Optional[float] = None
+    #: Scan cursor for :meth:`first_unassigned_task`.  Tasks only ever move
+    #: forward through UNASSIGNED -> ACTIVE -> COMPLETE, so the first
+    #: unassigned index is monotonically non-decreasing.
+    _first_unassigned: int = field(default=0, init=False, repr=False, compare=False)
+    #: Self-compacting backing list for :meth:`incomplete_tasks_view`.
+    _live_tasks: Optional[list[Task]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.tasks:
@@ -216,6 +244,35 @@ class Batch:
     @property
     def unassigned_tasks(self) -> list[Task]:
         return [t for t in self.tasks if t.state == TaskState.UNASSIGNED]
+
+    def first_unassigned_task(self) -> Optional[Task]:
+        """The first task (in batch order) nobody has started yet.
+
+        Equivalent to ``self.unassigned_tasks[0]`` but amortized O(1) across
+        a batch's lifetime: the cursor never moves backwards because task
+        states never revert to UNASSIGNED.
+        """
+        tasks = self.tasks
+        index = self._first_unassigned
+        size = len(tasks)
+        while index < size and tasks[index].state is not TaskState.UNASSIGNED:
+            index += 1
+        self._first_unassigned = index
+        return tasks[index] if index < size else None
+
+    def incomplete_tasks_view(self) -> list[Task]:
+        """Tasks not yet complete, in batch order, with amortized compaction.
+
+        Unlike :attr:`incomplete_tasks` (which scans the full fixed task
+        list), this drops completed tasks permanently — legal because
+        COMPLETE is a terminal state — so repeated scheduling scans near the
+        end of a batch touch only the few tasks still in flight.  Callers
+        must not mutate the returned list.
+        """
+        live = self._live_tasks if self._live_tasks is not None else self.tasks
+        live = [t for t in live if t.state is not TaskState.COMPLETE]
+        self._live_tasks = live
+        return live
 
     @property
     def active_tasks(self) -> list[Task]:

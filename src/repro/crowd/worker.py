@@ -65,12 +65,21 @@ class WorkerProfile:
 
         ``num_records`` models task complexity ``Ng``: a HIT that groups
         several records takes proportionally longer, with per-record noise.
+
+        The single-record case (the dominant one: Ng=1 is the paper's
+        "simple" complexity and the default) avoids array allocation with a
+        scalar draw; multi-record tasks use one vectorized call.  Both paths
+        consume the generator identically, so a run's results do not depend
+        on which path served it.
         """
         if num_records < 1:
             raise ValueError(f"num_records must be >= 1, got {num_records}")
+        if num_records == 1:
+            draw = float(rng.normal(self.mean_latency, self.latency_std))
+            return draw if draw > MIN_TASK_LATENCY_SECONDS else MIN_TASK_LATENCY_SECONDS
         draws = rng.normal(self.mean_latency, self.latency_std, size=num_records)
-        total = float(np.maximum(draws, MIN_TASK_LATENCY_SECONDS).sum())
-        return total
+        np.maximum(draws, MIN_TASK_LATENCY_SECONDS, out=draws)
+        return float(draws.sum())
 
     def draw_label(
         self,
@@ -83,8 +92,49 @@ class WorkerProfile:
             raise ValueError(f"num_classes must be >= 2, got {num_classes}")
         if rng.random() < self.accuracy:
             return int(true_label)
-        wrong = [c for c in range(num_classes) if c != true_label]
-        return int(rng.choice(wrong))
+        return self._draw_wrong_label(rng, int(true_label), num_classes)
+
+    def draw_labels(
+        self,
+        rng: np.random.Generator,
+        true_labels: Sequence[int],
+        num_classes: int = 2,
+    ) -> list[int]:
+        """Sample one label per record of a task (the per-assignment batch).
+
+        Equivalent to calling :meth:`draw_label` per record — same draws in
+        the same order — without the per-call method dispatch; the platform
+        uses this for every completed assignment.
+        """
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        accuracy = self.accuracy
+        random = rng.random
+        labels: list[int] = []
+        for true_label in true_labels:
+            true_label = int(true_label)
+            if random() < accuracy:
+                labels.append(true_label)
+            else:
+                labels.append(self._draw_wrong_label(rng, true_label, num_classes))
+        return labels
+
+    @staticmethod
+    def _draw_wrong_label(
+        rng: np.random.Generator, true_label: int, num_classes: int
+    ) -> int:
+        """Uniform draw over the labels != ``true_label``.
+
+        Index arithmetic replaces ``rng.choice`` over a materialised list;
+        ``Generator.choice`` resolves a no-``p`` draw to one ``integers``
+        call, so the stream consumption is identical.
+        """
+        if 0 <= true_label < num_classes:
+            offset = int(rng.integers(num_classes - 1))
+            return offset if offset < true_label else offset + 1
+        # True label outside the class range: every class is "wrong", which
+        # is what the original choice() over the filtered list produced.
+        return int(rng.integers(num_classes))
 
     def with_id(self, worker_id: int) -> "WorkerProfile":
         """Return a copy of this profile under a different id."""

@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-import numpy as np
 
 from ..api.events import ProgressEvent
 

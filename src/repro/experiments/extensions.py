@@ -29,7 +29,7 @@ from ..core.maintainer import MaintenancePolicy, PoolMaintainer
 from ..crowd.worker import PopulationParameters, WorkerObservations, WorkerPopulation
 from ..learning.datasets import make_cifar_like
 from ..learning.learners import HybridLearner
-from .common import ExperimentRun, make_labeling_workload, run_configuration
+from .common import make_labeling_workload
 
 
 # --------------------------------------------------------------------------

@@ -21,13 +21,12 @@ Four claims from the design sections are checked in simulation:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from ..core.config import CLAMShellConfig, LearningStrategy, StragglerRoutingPolicy
 from ..core.maintainer import predicted_latency_series
-from ..crowd.worker import WorkerPopulation
 from .common import ExperimentRun, make_labeling_workload, mixed_speed_population, run_configuration
 
 
@@ -201,7 +200,6 @@ def run_convergence_experiment(
     ]
     predicted = predicted_latency_series(q, mu_fast, mu_slow, len(observed))
 
-    outcomes = run.result.batch_outcomes
     initial_pool_latency = observed[0] if observed else float("nan")
     final_pool_latency = observed[-1] if observed else float("nan")
     return ConvergenceResult(

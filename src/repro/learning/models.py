@@ -14,7 +14,7 @@ and for the cold-start phase before any labels exist.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 from scipy import optimize

@@ -1,0 +1,299 @@
+"""Tests for the machine-readable benchmark subsystem (repro.bench)."""
+
+import itertools
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    available_workloads,
+    compare_documents,
+    compare_files,
+    get_workload,
+    load_result,
+    register_workload,
+    run_benchmark,
+    validate_document,
+    write_result,
+)
+from repro.bench.registry import WorkloadOutcome, _REGISTRY
+from repro.cli import main
+
+#: A scale sweep small enough for unit tests (one 5-worker pool, 30 records).
+TINY_SWEEP = {"sweep": [[5, 30]]}
+
+
+def run_tiny(seed=0, repeat=1, warmup=0):
+    return run_benchmark(
+        "scale", seed=seed, repeat=repeat, warmup=warmup, params=TINY_SWEEP
+    )
+
+
+class TestRegistry:
+    def test_builtin_workloads_registered(self):
+        names = available_workloads()
+        for expected in ("headline", "straggler", "maintenance", "hybrid", "scale"):
+            assert expected in names
+
+    def test_unknown_workload_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="scale"):
+            get_workload("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload("scale")(lambda seed=0: None)
+
+    def test_defaults_recorded_on_spec(self):
+        spec = get_workload("scale")
+        assert "sweep" in spec.defaults
+
+
+class TestRunner:
+    def test_result_carries_throughput_metrics(self):
+        result = run_tiny()
+        assert result.outcome.events_processed > 0
+        assert result.outcome.labels == 30
+        assert result.events_per_second > 0
+        assert result.labels_per_second > 0
+        assert result.sim_real_ratio > 0
+        assert result.best_wall_seconds <= result.mean_wall_seconds + 1e-12
+
+    def test_repeat_and_warmup_validation(self):
+        with pytest.raises(ValueError):
+            run_benchmark("scale", repeat=0)
+        with pytest.raises(ValueError):
+            run_benchmark("scale", warmup=-1)
+
+    def test_same_seed_runs_are_identical(self):
+        first = run_tiny(seed=7)
+        second = run_tiny(seed=7)
+        assert first.outcome.fingerprint() == second.outcome.fingerprint()
+
+    def test_different_seeds_differ(self):
+        first = run_tiny(seed=0)
+        second = run_tiny(seed=1)
+        assert first.outcome.fingerprint() != second.outcome.fingerprint()
+
+    def test_repeat_determinism_check_passes_for_real_workloads(self):
+        result = run_tiny(repeat=2)
+        assert len(result.wall_seconds) == 2
+
+    def test_nondeterministic_workload_detected(self):
+        counter = itertools.count()
+
+        @register_workload("_test_nondet", description="intentionally broken")
+        def nondet(seed=0):
+            return WorkloadOutcome(
+                sim_seconds=1.0,
+                events_processed=next(counter),
+                labels=0,
+                cost=0.0,
+            )
+
+        try:
+            with pytest.raises(RuntimeError, match="nondeterministic"):
+                run_benchmark("_test_nondet", repeat=2, warmup=0)
+        finally:
+            _REGISTRY.pop("_test_nondet", None)
+
+
+class TestJsonSchema:
+    def test_round_trip(self, tmp_path):
+        result = run_tiny()
+        path = write_result(result, tmp_path / "BENCH_scale.json")
+        loaded = load_result(path)
+        assert loaded["schema_version"] == SCHEMA_VERSION
+        assert loaded["workload"] == "scale"
+        assert loaded["seed"] == 0
+        assert loaded["events_processed"] == result.outcome.events_processed
+        assert loaded["labels"] == result.outcome.labels
+        assert loaded["events_per_second"] == pytest.approx(
+            result.events_per_second, rel=1e-3
+        )
+        assert loaded["cost"]["total_dollars"] == pytest.approx(
+            result.outcome.cost, abs=1e-5
+        )
+        assert loaded["wall_seconds"]["best"] <= loaded["wall_seconds"]["mean"] + 1e-9
+        assert loaded["params"]["sweep"] == [[5, 30]]
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        result = run_tiny()
+        path = write_result(result, tmp_path / "deep" / "dir" / "BENCH_scale.json")
+        assert path.exists()
+
+    def test_validate_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_document({"workload": "scale"})
+
+    def test_validate_rejects_wrong_version(self, tmp_path):
+        result = run_tiny()
+        document = result.to_dict()
+        document["schema_version"] = 999
+        with pytest.raises(ValueError, match="schema_version"):
+            validate_document(document)
+
+    def test_load_rejects_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": SCHEMA_VERSION}))
+        with pytest.raises(ValueError):
+            load_result(path)
+
+
+class TestComparator:
+    def base_document(self):
+        return run_tiny().to_dict()
+
+    def test_identical_documents_pass(self):
+        document = self.base_document()
+        report = compare_documents(document, dict(document))
+        assert report.passed
+        assert report.events_ratio == pytest.approx(1.0)
+
+    def test_small_regression_within_threshold_passes(self):
+        baseline = self.base_document()
+        current = dict(baseline)
+        current["events_per_second"] = baseline["events_per_second"] * 0.8
+        current["labels_per_second"] = baseline["labels_per_second"] * 0.8
+        report = compare_documents(baseline, current, max_regression=0.30)
+        assert report.passed
+
+    def test_large_regression_fails(self):
+        baseline = self.base_document()
+        current = dict(baseline)
+        current["events_per_second"] = baseline["events_per_second"] * 0.5
+        current["labels_per_second"] = baseline["labels_per_second"] * 0.5
+        report = compare_documents(baseline, current, max_regression=0.30)
+        assert not report.passed
+        assert any("REGRESSION" in message for message in report.messages)
+
+    def test_speedup_always_passes(self):
+        baseline = self.base_document()
+        current = dict(baseline)
+        current["events_per_second"] = baseline["events_per_second"] * 4.0
+        current["labels_per_second"] = baseline["labels_per_second"] * 4.0
+        assert compare_documents(baseline, current).passed
+
+    def test_workload_mismatch_is_an_error(self):
+        baseline = self.base_document()
+        current = dict(baseline)
+        current["workload"] = "headline"
+        with pytest.raises(ValueError, match="different workloads"):
+            compare_documents(baseline, current)
+
+    def test_strict_flags_outcome_mismatch_for_same_seed(self):
+        baseline = self.base_document()
+        current = dict(baseline)
+        current["labels"] = baseline["labels"] + 1
+        report = compare_documents(baseline, current, strict=True)
+        assert not report.passed
+        assert any("MISMATCH" in message for message in report.messages)
+
+    def test_strict_passes_for_identical_outcomes(self):
+        document = self.base_document()
+        assert compare_documents(document, dict(document), strict=True).passed
+
+    def test_seed_difference_noted_not_failed(self):
+        baseline = self.base_document()
+        current = dict(baseline)
+        current["seed"] = 99
+        report = compare_documents(baseline, current)
+        assert report.passed
+        assert any("seeds differ" in message for message in report.messages)
+
+    def test_invalid_threshold_rejected(self):
+        document = self.base_document()
+        with pytest.raises(ValueError, match="max_regression"):
+            compare_documents(document, dict(document), max_regression=1.5)
+
+    def test_compare_files(self, tmp_path):
+        result = run_tiny()
+        baseline = write_result(result, tmp_path / "baseline.json")
+        current = write_result(result, tmp_path / "current.json")
+        assert compare_files(baseline, current, strict=True).passed
+
+
+class TestBenchCli:
+    def test_bench_help_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "--help"])
+        assert excinfo.value.code == 0
+        assert "compare" in capsys.readouterr().out
+
+    def test_bench_list_names_workloads(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("headline", "scale"):
+            assert name in out
+
+    def test_unknown_workload_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "warp-speed"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_workload_run_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "out" / "BENCH_scale.json"
+        code = main(
+            [
+                "bench",
+                "scale",
+                "--repeat",
+                "1",
+                "--warmup",
+                "0",
+                "--param",
+                "sweep=[[5, 30]]",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        loaded = load_result(target)
+        assert loaded["workload"] == "scale"
+        assert "events processed" in capsys.readouterr().out
+
+    def test_bad_param_syntax_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["bench", "scale", "--param", "novalue"])
+        assert excinfo.value.code == 2
+
+    def test_compare_cli_pass_and_fail_exit_codes(self, tmp_path, capsys):
+        result = run_tiny()
+        baseline_path = write_result(result, tmp_path / "baseline.json")
+        current_path = write_result(result, tmp_path / "current.json")
+        assert (
+            main(["bench", "compare", str(baseline_path), str(current_path)]) == 0
+        )
+        degraded = result.to_dict()
+        degraded["events_per_second"] *= 0.1
+        degraded["labels_per_second"] *= 0.1
+        degraded_path = tmp_path / "degraded.json"
+        degraded_path.write_text(json.dumps(degraded))
+        assert (
+            main(["bench", "compare", str(baseline_path), str(degraded_path)]) == 1
+        )
+        assert "FAIL" in capsys.readouterr().out
+
+
+BASELINES_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "baselines"
+
+
+class TestCommittedBaselines:
+    """The baselines the CI gate reads must stay schema-valid and coherent."""
+
+    def test_committed_baselines_are_schema_valid(self):
+        for name in ("BENCH_headline.json", "BENCH_scale.json",
+                     "BENCH_scale.before.json", "BENCH_scale.after.json"):
+            document = load_result(BASELINES_DIR / name)
+            assert document["events_per_second"] > 0
+
+    def test_scale_optimization_evidence(self):
+        """before/after: >= 2x events/sec with identical simulated results."""
+        before = load_result(BASELINES_DIR / "BENCH_scale.before.json")
+        after = load_result(BASELINES_DIR / "BENCH_scale.after.json")
+        report = compare_documents(before, after, strict=True)
+        assert report.passed
+        assert report.events_ratio >= 2.0

@@ -257,6 +257,54 @@ class TestLegacySubclassHooks:
         assert system.last_platform is not None
 
 
+class TestRunWithStats:
+    def test_stats_match_the_run(self, dataset):
+        from repro.api.engine import ExecutionStats
+
+        spec = JobSpec(
+            dataset=dataset,
+            config=full_clamshell(pool_size=5, seed=0),
+            population=make_population(),
+            num_records=20,
+        )
+        result, stats = Engine().run_with_stats(spec)
+        assert isinstance(stats, ExecutionStats)
+        assert stats.labels == result.metrics.records_labeled == 20
+        assert stats.total_cost == pytest.approx(result.total_cost)
+        assert stats.events_processed > 0
+        assert stats.events_scheduled >= stats.events_processed
+        assert stats.sim_seconds == pytest.approx(result.metrics.total_wall_clock)
+        assert stats.counters["assignments_started"] >= stats.counters[
+            "assignments_completed"
+        ]
+        assert "waiting_seconds" in stats.counters
+
+    def test_merged_with_sums_counters(self, dataset):
+        spec = JobSpec(
+            dataset=dataset,
+            config=full_clamshell(pool_size=5, seed=0),
+            population=make_population(),
+            num_records=10,
+        )
+        _, first = Engine().run_with_stats(spec)
+        spec_again = JobSpec(
+            dataset=dataset,
+            config=full_clamshell(pool_size=5, seed=0),
+            population=make_population(),
+            num_records=10,
+        )
+        _, second = Engine().run_with_stats(spec_again)
+        merged = first.merged_with(second)
+        assert merged.labels == first.labels + second.labels
+        assert merged.events_processed == (
+            first.events_processed + second.events_processed
+        )
+        assert merged.counters["assignments_started"] == (
+            first.counters["assignments_started"]
+            + second.counters["assignments_started"]
+        )
+
+
 class TestDeprecations:
     def test_build_platform_and_batcher_warn(self, dataset):
         system = CLAMShell(dataset=dataset, population=make_population())

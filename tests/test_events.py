@@ -103,6 +103,79 @@ class TestEventQueue:
         assert queue
 
 
+class TestLivenessTracking:
+    """The O(1) live-event counter must stay exact under every transition."""
+
+    def test_len_is_constant_time_counter(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(t), EventKind.CUSTOM) for t in range(1, 101)]
+        assert len(queue) == 100
+        events[3].cancel()
+        events[97].cancel()
+        assert len(queue) == 98
+
+    def test_double_cancel_decrements_once(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, EventKind.CUSTOM)
+        queue.schedule(2.0, EventKind.CUSTOM)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+        assert queue
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, EventKind.CUSTOM)
+        queue.schedule(2.0, EventKind.CUSTOM)
+        popped = queue.pop()
+        assert popped is first
+        popped.cancel()
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0
+        assert len(queue) == 0
+        assert not queue
+
+    def test_cancel_all_empties_queue(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(t), EventKind.CUSTOM) for t in (1.0, 2.0, 3.0)]
+        for event in events:
+            event.cancel()
+        assert len(queue) == 0
+        assert not queue
+        assert queue.peek() is None
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_cancelled_event_skipped_by_peek_keeps_count(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, EventKind.CUSTOM, "a")
+        queue.schedule(2.0, EventKind.CUSTOM, "b")
+        first.cancel()
+        peeked = queue.peek()
+        assert peeked is not None and peeked.payload == "b"
+        assert len(queue) == 1
+
+    def test_standalone_event_cancel_is_safe(self):
+        # Events constructed outside a queue can still be cancelled.
+        from repro.crowd.events import Event
+
+        event = Event(time=1.0, kind=EventKind.CUSTOM)
+        event.cancel()
+        assert event.cancelled
+
+    def test_event_counters_track_schedule_and_pop(self):
+        queue = EventQueue()
+        cancelled = queue.schedule(1.0, EventKind.CUSTOM)
+        queue.schedule(2.0, EventKind.CUSTOM)
+        queue.schedule(3.0, EventKind.CUSTOM)
+        cancelled.cancel()
+        assert queue.events_scheduled == 3
+        queue.pop()
+        queue.pop()
+        # Cancelled events are dropped, not processed.
+        assert queue.events_processed == 2
+
+
 class TestSimulationClock:
     def test_mirrors_queue_time(self):
         queue = EventQueue()

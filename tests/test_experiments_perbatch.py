@@ -58,7 +58,7 @@ class TestTaxonomyExperiment:
         assert all(len(row) == 3 for row in rows)
 
     def test_fastest_worker_completes_many_more_tasks(self):
-        result = run_taxonomy_experiment(num_tasks=3000, num_workers=80, seed=0)
+        run_taxonomy_experiment(num_tasks=3000, num_workers=80, seed=0)
         # §4.1: the fastest worker can complete ~8x as many tasks as the median.
         ratio = fastest_vs_median_throughput_ratio(
             __import__("repro.crowd.traces", fromlist=["generate_medical_trace"]).generate_medical_trace(

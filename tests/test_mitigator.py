@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.config import StragglerRoutingPolicy
 from repro.core.mitigator import StragglerMitigator
-from repro.crowd.pool import RetainerPool, pool_from_workers
+from repro.crowd.pool import pool_from_workers
 from repro.crowd.tasks import Assignment, Batch, Task
 from repro.crowd.worker import WorkerProfile
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.learning.datasets import make_classification
 from repro.learning.models import (
     LogisticRegressionModel,
     MajorityClassModel,

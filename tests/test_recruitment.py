@@ -3,7 +3,6 @@
 import pytest
 
 from repro.crowd.recruitment import BackgroundReserve, Recruiter, RecruitmentParameters
-from repro.crowd.worker import WorkerPopulation
 
 
 @pytest.fixture
