@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional, Protocol, runtime_che
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoid cycles
     from ..crowd.events import EventQueue
-    from ..crowd.platform import PlatformCounters
+    from ..crowd.platform import AssignmentObserver, PlatformCounters
     from ..crowd.pool import RetainerPool
     from ..crowd.recruitment import BackgroundReserve, Recruiter
     from ..crowd.tasks import Assignment, Task
@@ -86,6 +86,22 @@ class CrowdBackend(Protocol):
         ...
 
     def active_assignment_for_worker(self, worker_id: int) -> Optional["Assignment"]:
+        ...
+
+    # -- assignment observers ----------------------------------------------
+
+    def add_assignment_observer(self, observer: "AssignmentObserver") -> None:
+        """Register for start/complete/terminate assignment notifications.
+
+        The backend must notify observers for *every* assignment transition,
+        including ones it performs internally (e.g. terminations triggered by
+        :meth:`replace_worker` during pool maintenance); the mitigator's
+        incremental active-task index depends on seeing the full stream.
+        """
+        ...
+
+    def remove_assignment_observer(self, observer: "AssignmentObserver") -> None:
+        """Unregister a previously-added observer (missing ones ignored)."""
         ...
 
     # -- pool maintenance --------------------------------------------------

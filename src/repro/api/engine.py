@@ -259,6 +259,17 @@ class LabelingJob:
             assert self._result is not None
             return self._result
 
+    def stats(self, timeout: Optional[float] = None) -> ExecutionStats:
+        """Block for the run's simulator-side :class:`ExecutionStats`.
+
+        The thread-pooled counterpart of :meth:`Engine.run_with_stats`:
+        once the job succeeds, the platform's event/cost counters are read
+        off the (now idle) backend.  Raises like :meth:`result` on failure.
+        """
+        result = self.result(timeout=timeout)
+        assert self.platform is not None
+        return collect_stats(self.platform, result)
+
     # -- engine-side plumbing ---------------------------------------------
 
     def _is_done_locked(self) -> bool:
@@ -385,6 +396,27 @@ class Engine:
             )
             results.append(job.result(timeout=remaining))
         return results
+
+    def run_many_with_stats(
+        self, specs: Sequence[JobSpec], timeout: Optional[float] = None
+    ) -> list[tuple[RunResult, ExecutionStats]]:
+        """Concurrent :meth:`run_many` that also returns per-job stats.
+
+        Results follow spec order; each tuple pairs the job's
+        :class:`RunResult` with the :class:`ExecutionStats` read from its
+        private platform after completion.  Jobs are independent (one
+        platform each), so the aggregate is deterministic regardless of how
+        the thread pool interleaves them.
+        """
+        jobs = self.submit_many(specs)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        paired: list[tuple[RunResult, ExecutionStats]] = []
+        for job in jobs:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            paired.append((job.result(timeout=remaining), job.stats()))
+        return paired
 
     # -- lifecycle ----------------------------------------------------------
 

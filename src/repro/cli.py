@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig11 --seed 1
     python -m repro run e2e --num-records 500
     python -m repro bench scale --json BENCH_scale.json --repeat 3
+    python -m repro bench concurrency --json BENCH_concurrency.json
     python -m repro bench compare baselines/BENCH_scale.json BENCH_scale.json
 
 Each experiment name maps to one paper artifact (see DESIGN.md); ``run``

@@ -1,0 +1,248 @@
+"""Incremental active-task index for the straggler-mitigation dispatch path.
+
+:meth:`StragglerMitigator.pick_task` used to rebuild its candidate list on
+every dispatch by scanning the batch's incomplete tasks and, per task, the
+task's assignment and answer lists.  That scan is O(incomplete tasks) per
+idle worker per event, which dominates the simulator profile once pools grow
+to hundreds of workers (the candidate scan visited millions of tasks on the
+1000-worker ``scale`` tier).
+
+:class:`ActiveTaskIndex` replaces the scan with state that is maintained
+*incrementally* as the batch runs:
+
+* tasks enter the index when they are first dispatched (UNASSIGNED ->
+  ACTIVE) and leave when consensus completes them, mirrored by a Fenwick
+  tree over batch positions so the k-th live task can be selected in
+  O(log n) without materialising the candidate list;
+* per-task active-assignment counts, so starvation / under-provisioning /
+  duplicate-cap checks are O(1) instead of scanning ``task.assignments``;
+* per-worker involvement sets (maintained only for quality-controlled
+  batches, where a worker's completed answer does not complete the task),
+  so the "worker already involved" filter is a set lookup;
+* a lazy min-heap of starved batch positions, so "first starved task in
+  batch order" is O(1) amortised.
+
+The index learns about assignment lifecycle through the crowd backend's
+assignment-observer hooks (:meth:`assignment_started` /
+:meth:`assignment_completed` / :meth:`assignment_terminated`), which the
+LifeGuard registers for the duration of a batch.  Routing this through the
+platform rather than the LifeGuard matters: pool maintenance terminates
+assignments from inside ``replace_worker``, a path the LifeGuard never sees.
+
+Equivalence contract: for every sequence of callbacks produced by a real
+batch run, the index's view (live active tasks in batch order, per-task
+active counts, per-worker involvement) is identical to what the brute-force
+scan would compute from the task objects — so the mitigator draws the same
+random index over the same candidate count and every seed reproduces
+bit-identical labels and cost counters.  ``tests/test_mitigator_equivalence``
+holds this property over seeds × pool sizes × batch configurations.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..crowd.tasks import Assignment, Batch, Task
+
+
+class _FenwickTree:
+    """Binary indexed tree over batch positions with 0/1 membership.
+
+    Supports O(log n) point update, prefix sum, and k-th-member selection —
+    the order statistic the RANDOM routing policy needs to pick the k-th
+    live active task in batch order without building a list.
+    """
+
+    __slots__ = ("_tree", "_size")
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, position: int, delta: int) -> None:
+        index = position + 1
+        tree = self._tree
+        size = self._size
+        while index <= size:
+            tree[index] += delta
+            index += index & (-index)
+
+    def kth(self, k: int) -> int:
+        """Position of the k-th member (0-based k), by ascending position."""
+        tree = self._tree
+        position = 0
+        remaining = k + 1
+        bit = 1 << (self._size.bit_length())
+        while bit:
+            candidate = position + bit
+            if candidate <= self._size and tree[candidate] < remaining:
+                position = candidate
+                remaining -= tree[candidate]
+            bit >>= 1
+        return position  # 1-based internal index - 1 == 0-based position
+
+
+class ActiveTaskIndex:
+    """Live view of one batch's active tasks, maintained by callbacks.
+
+    Created by :meth:`StragglerMitigator.begin_batch` and fed by the crowd
+    backend's assignment observers plus the LifeGuard's task-completion
+    notification.  All queries the mitigator's dispatch path needs are O(1)
+    or O(log n).
+    """
+
+    def __init__(self, batch: "Batch") -> None:
+        self.batch = batch
+        tasks = batch.tasks
+        self._position = {task.task_id: i for i, task in enumerate(tasks)}
+        self._fenwick = _FenwickTree(len(tasks))
+        #: Number of tasks currently ACTIVE (dispatched, not complete).
+        self._live = 0
+        #: task_id -> number of ACTIVE-status assignments.  Membership in
+        #: this dict means the task has been dispatched at least once.
+        self._active_counts: dict[int, int] = {}
+        #: Batch-ordered list of tasks that entered the index; completed
+        #: tasks are skipped on iteration and compacted lazily.
+        self._entries: list["Task"] = []
+        self._dead_entries = 0
+        #: Lazy min-heap of batch positions that dropped to zero active
+        #: assignments while still incomplete (starved tasks).  Entries are
+        #: validated on read, so revived/completed tasks cost nothing.
+        self._starved_heap: list[int] = []
+        #: Tasks whose completion has already been applied to the Fenwick
+        #: tree, so a duplicate notification cannot double-remove.
+        self._completed_ids: set[int] = set()
+        #: Quality control decouples "answered" from "complete": only then
+        #: can an *available* worker still be involved in an active task, so
+        #: only then is the involvement filter non-vacuous and worth the
+        #: bookkeeping.
+        self.quality_controlled = any(task.votes_required > 1 for task in tasks)
+        self._involvement: dict[int, set[int]] = {}
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def live_count(self) -> int:
+        """Number of tasks currently in ACTIVE state (complete tasks left)."""
+        return self._live
+
+    def active_assignments_of(self, task: "Task") -> int:
+        """O(1) equivalent of ``task.num_active_assignments``."""
+        return self._active_counts.get(task.task_id, 0)
+
+    def kth_live_task(self, k: int) -> "Task":
+        """The k-th live active task in batch order (0-based), O(log n)."""
+        if not 0 <= k < self._live:
+            raise IndexError(f"k={k} out of range for {self._live} live tasks")
+        return self.batch.tasks[self._fenwick.kth(k)]
+
+    def first_starved(self) -> Optional["Task"]:
+        """First task in batch order that is ACTIVE with no active assignment."""
+        heap = self._starved_heap
+        tasks = self.batch.tasks
+        while heap:
+            task = tasks[heap[0]]
+            if (
+                not task.is_complete
+                and self._active_counts.get(task.task_id, 0) == 0
+            ):
+                return task
+            heapq.heappop(heap)
+        return None
+
+    def iter_live(self) -> Iterator["Task"]:
+        """Live active tasks in batch order, compacting dead entries lazily."""
+        entries = self._entries
+        if self._dead_entries * 2 > len(entries):
+            entries = [task for task in entries if not task.is_complete]
+            self._entries = entries
+            self._dead_entries = 0
+        for task in entries:
+            if not task.is_complete:
+                yield task
+
+    def involved_tasks(self, worker_id: int) -> frozenset[int]:
+        """Task ids the worker holds an active assignment on or has answered.
+
+        Only meaningful for quality-controlled batches; without redundancy an
+        available worker can never be involved in a still-active task (their
+        answer completes it), so the empty set is returned unconditionally.
+        """
+        if not self.quality_controlled:
+            return frozenset()
+        involved = self._involvement.get(worker_id)
+        return frozenset(involved) if involved else frozenset()
+
+    # -- platform assignment observers ----------------------------------------
+
+    def assignment_started(self, task: "Task", assignment: "Assignment") -> None:
+        """A worker was dispatched onto ``task`` (enters the index if new)."""
+        task_id = task.task_id
+        count = self._active_counts.get(task_id)
+        if count is None:
+            position = self._position.get(task_id)
+            if position is None:
+                return  # task from another batch (defensive; should not happen)
+            self._active_counts[task_id] = 1
+            self._fenwick.add(position, 1)
+            self._live += 1
+            self._entries.append(task)
+        else:
+            self._active_counts[task_id] = count + 1
+        if self.quality_controlled:
+            self._involvement.setdefault(assignment.worker_id, set()).add(task_id)
+
+    def assignment_completed(self, task: "Task", assignment: "Assignment") -> None:
+        """An assignment finished; the worker's answer keeps them involved."""
+        if task.task_id in self._active_counts:
+            self._active_counts[task.task_id] -= 1
+        # No starved push: completion is immediately followed by the
+        # LifeGuard recording the answer; if the task stays incomplete
+        # (quality control) with zero active work, the next termination or
+        # the brute equivalence below marks it.  See _note_possibly_starved.
+        self._note_possibly_starved(task)
+
+    def assignment_terminated(self, task: "Task", assignment: "Assignment") -> None:
+        """An assignment was pre-empted (mitigation or worker eviction)."""
+        task_id = task.task_id
+        if task_id in self._active_counts:
+            self._active_counts[task_id] -= 1
+        if self.quality_controlled:
+            involved = self._involvement.get(assignment.worker_id)
+            if involved and task_id in involved:
+                # A terminated worker may be re-routed to the task later —
+                # unless they already answered it.
+                if not self._worker_answered(task, assignment.worker_id):
+                    involved.discard(task_id)
+        self._note_possibly_starved(task)
+
+    # -- LifeGuard notifications ------------------------------------------------
+
+    def task_completed(self, task: "Task") -> None:
+        """Consensus reached: the task leaves the live set permanently."""
+        task_id = task.task_id
+        if task_id not in self._active_counts or task_id in self._completed_ids:
+            return
+        self._completed_ids.add(task_id)
+        position = self._position[task_id]
+        self._fenwick.add(position, -1)
+        self._live -= 1
+        self._dead_entries += 1
+
+    # -- internals ---------------------------------------------------------------
+
+    def _note_possibly_starved(self, task: "Task") -> None:
+        if (
+            not task.is_complete
+            and self._active_counts.get(task.task_id, 0) == 0
+        ):
+            heapq.heappush(self._starved_heap, self._position[task.task_id])
+
+    @staticmethod
+    def _worker_answered(task: "Task", worker_id: int) -> bool:
+        for answered_by, _, _ in task.answers:
+            if answered_by == worker_id:
+                return True
+        return False

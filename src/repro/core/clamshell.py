@@ -71,8 +71,14 @@ class CLAMShell:
     ) -> None:
         self.config = config or full_clamshell()
         self.dataset = dataset
-        self.population = population or default_simulation_population(
-            seed=self.config.seed
+        # `is None`, not truthiness: parametric populations have len() == 0,
+        # so `population or default` silently replaced a caller's population
+        # with the default one — the facade then simulated a different crowd
+        # than an Engine run built from the very same inputs.
+        self.population = (
+            population
+            if population is not None
+            else default_simulation_population(seed=self.config.seed)
         )
         self._learner_override = learner
         self._decision_latency = decision_latency

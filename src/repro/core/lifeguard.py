@@ -89,6 +89,26 @@ class LifeGuard:
 
     def run_batch(self, batch: Batch, batch_index: int = 0) -> BatchOutcome:
         """Run ``batch`` to completion and return its outcome."""
+        # The mitigator tracks the batch's active tasks incrementally: tasks
+        # enter its index on dispatch and leave on consensus, with the
+        # platform's assignment observers keeping per-task counts and
+        # per-worker involvement exact (maintenance terminates assignments
+        # from inside replace_worker, a path this loop never touches).
+        # Backends predating the observer hooks can't feed the index, so
+        # they keep the brute-force scan path instead of crashing.
+        index = None
+        if hasattr(self.platform, "add_assignment_observer"):
+            index = self.mitigator.begin_batch(batch)
+        if index is not None:
+            self.platform.add_assignment_observer(index)
+        try:
+            return self._run_batch_inner(batch, batch_index)
+        finally:
+            if index is not None:
+                self.platform.remove_assignment_observer(index)
+            self.mitigator.end_batch()
+
+    def _run_batch_inner(self, batch: Batch, batch_index: int) -> BatchOutcome:
         platform = self.platform
         start_terminated = platform.counters.assignments_terminated
         start_started = platform.counters.assignments_started
@@ -145,6 +165,7 @@ class LifeGuard:
             if task.is_complete:
                 if not was_complete:
                     tasks_remaining -= 1
+                    self.mitigator.note_task_complete(task)
                 self._terminate_losing_assignments(task, assignment.duration)
                 outcome.completion_times.append((platform.now, task.num_records))
                 consensus_by_task[task.task_id] = self._aggregate_task_labels(task)

@@ -19,13 +19,14 @@ blow-up described in §4.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
 
 from ..crowd.pool import RetainerPool
 from ..crowd.tasks import AssignmentStatus, Batch, Task, TaskState
+from .active_index import ActiveTaskIndex
 from .config import StragglerRoutingPolicy
 from .quality import votes_needed
 
@@ -56,11 +57,41 @@ class StragglerMitigator:
     decouple_quality_control: bool = True
     max_extra_assignments: Optional[int] = None
     seed: int = 0
+    #: Use the incremental :class:`ActiveTaskIndex` when a batch has been
+    #: primed via :meth:`begin_batch`.  Disabled only by the equivalence
+    #: tests, which pit the indexed paths against the brute-force scan.
+    use_index: bool = True
+    _index: Optional[ActiveTaskIndex] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_extra_assignments is not None and self.max_extra_assignments < 0:
             raise ValueError("max_extra_assignments must be >= 0 or None")
         self._rng = np.random.default_rng(self.seed)
+
+    # -- incremental index lifecycle (driven by the LifeGuard) ---------------------
+
+    def begin_batch(self, batch: Batch) -> Optional[ActiveTaskIndex]:
+        """Start tracking ``batch`` incrementally; returns the index to feed.
+
+        The caller (LifeGuard) registers the returned index as an assignment
+        observer on the crowd backend so dispatch/completion/termination
+        events keep it exact, and notifies :meth:`note_task_complete` when
+        consensus completes a task.  Returns ``None`` when indexing is
+        disabled; :meth:`pick_task` then uses the brute-force scan.
+        """
+        self._index = ActiveTaskIndex(batch) if self.use_index else None
+        return self._index
+
+    def end_batch(self) -> None:
+        """Stop tracking the current batch (the index is discarded)."""
+        self._index = None
+
+    def note_task_complete(self, task: Task) -> None:
+        """Consensus reached on ``task``: it leaves the active-task index."""
+        if self._index is not None:
+            self._index.task_completed(task)
 
     # -- candidate filtering -----------------------------------------------------
 
@@ -112,21 +143,58 @@ class StragglerMitigator:
            more answers than it has active assignments;
         4. (if mitigation is enabled) an active task chosen by the routing
            policy, excluding tasks the worker is already involved in.
+
+        When the batch has been primed via :meth:`begin_batch`, selection is
+        served by the incremental :class:`ActiveTaskIndex`; otherwise (direct
+        use, hand-built states) the brute-force scan runs.  Both produce the
+        same choice and consume the RNG stream identically.
         """
-        first_unassigned = batch.first_unassigned_task()
-        if first_unassigned is not None:
-            if not first_unassigned.assignments and not first_unassigned.answers:
-                # The common case: a pristine unassigned task involves nobody,
-                # so it is exactly `unassigned-and-uninvolved[0]`.
-                return first_unassigned
-            # Hand-built states (e.g. answers recorded on an unassigned task)
-            # fall back to the full filtered scan.
-            unassigned = [
-                t for t in batch.unassigned_tasks
-                if not self._worker_already_involved(t, worker_id)
-            ]
-            if unassigned:
-                return unassigned[0]
+        index = self._index
+        if index is None or index.batch is not batch:
+            return self.pick_task_scan(batch, worker_id, pool, now)
+
+        task = self._pick_unassigned(batch, worker_id)
+        if task is not None:
+            return task
+
+        if (
+            index.quality_controlled
+            or self.policy is not StragglerRoutingPolicy.RANDOM
+            or self.max_extra_assignments is not None
+        ):
+            return self._pick_active_indexed(index, worker_id, pool, now)
+
+        # Fast path — no quality control (an available worker cannot be
+        # involved in a still-active task), RANDOM routing, no duplicate
+        # cap: the candidate list is exactly the live active tasks in batch
+        # order, so routing reduces to one RNG draw over the live count and
+        # an O(log n) order-statistic lookup.  Draw order matches the scan:
+        # one ``integers(len(candidates))`` call, only when routing happens.
+        live = index.live_count
+        if live == 0:
+            return None
+        starved = index.first_starved()
+        if starved is not None:
+            return starved
+        if not self.enabled:
+            return None
+        return index.kth_live_task(int(self._rng.integers(live)))
+
+    def pick_task_scan(
+        self,
+        batch: Batch,
+        worker_id: int,
+        pool: RetainerPool,
+        now: float,
+    ) -> Optional[Task]:
+        """Reference implementation: the fused brute-force candidate scan.
+
+        Used when no index is primed, and kept as the oracle the equivalence
+        tests compare the indexed paths against.
+        """
+        task = self._pick_unassigned(batch, worker_id)
+        if task is not None:
+            return task
 
         # One fused scan builds the routed candidate list (active tasks the
         # worker is not involved in, in batch order) and spots the first
@@ -164,6 +232,82 @@ class StragglerMitigator:
             duplicable = active
         else:
             duplicable = [t for t in active if self._duplicate_allowed(t)]
+        if not duplicable:
+            return None
+        return self._route(duplicable, pool, now)
+
+    def _pick_unassigned(self, batch: Batch, worker_id: int) -> Optional[Task]:
+        """Step 1 of the priority order, shared by scan and indexed paths."""
+        first_unassigned = batch.first_unassigned_task()
+        if first_unassigned is None:
+            return None
+        if not first_unassigned.assignments and not first_unassigned.answers:
+            # The common case: a pristine unassigned task involves nobody,
+            # so it is exactly `unassigned-and-uninvolved[0]`.
+            return first_unassigned
+        # Hand-built states (e.g. answers recorded on an unassigned task)
+        # fall back to the full filtered scan.
+        unassigned = [
+            t for t in batch.unassigned_tasks
+            if not self._worker_already_involved(t, worker_id)
+        ]
+        return unassigned[0] if unassigned else None
+
+    def _pick_active_indexed(
+        self,
+        index: ActiveTaskIndex,
+        worker_id: int,
+        pool: RetainerPool,
+        now: float,
+    ) -> Optional[Task]:
+        """Steps 2-4 over the index's live set (quality control, caps, or
+        non-RANDOM routing make the per-worker candidate list necessary).
+
+        Mirrors :meth:`pick_task_scan` with O(1) involvement and
+        active-count lookups in place of per-task assignment/answer scans.
+        The mirroring is deliberately *not* factored into one shared
+        implementation: the scan is the independent oracle the equivalence
+        tests compare this path against, and sharing code would make that
+        comparison vacuous.  Changes to the priority logic must be applied
+        to both and are held equal by ``tests/test_mitigator_equivalence``.
+        """
+        involved = index.involved_tasks(worker_id)
+        active: list[Task] = []
+        starved: Optional[Task] = None
+        for task in index.iter_live():
+            if task.task_id in involved:
+                continue
+            active.append(task)
+            if starved is None and index.active_assignments_of(task) == 0:
+                starved = task
+        if not active:
+            return None
+        if starved is not None:
+            return starved
+
+        if self.decouple_quality_control:
+            under_provisioned = [
+                t
+                for t in active
+                if t.votes_required > 1
+                and index.active_assignments_of(t)
+                < votes_needed(t.votes_required, t.votes_received)
+            ]
+            if under_provisioned:
+                return self._route(under_provisioned, pool, now)
+
+        if not self.enabled:
+            return None
+        if self.max_extra_assignments is None:
+            duplicable = active
+        else:
+            duplicable = [
+                t
+                for t in active
+                if index.active_assignments_of(t)
+                - votes_needed(t.votes_required, t.votes_received)
+                < self.max_extra_assignments
+            ]
         if not duplicable:
             return None
         return self._route(duplicable, pool, now)

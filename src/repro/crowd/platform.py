@@ -25,11 +25,31 @@ from typing import Optional
 
 import numpy as np
 
+from typing import Protocol, runtime_checkable
+
 from .events import Event, EventKind, EventQueue
 from .pool import RetainerPool
 from .recruitment import BackgroundReserve, Recruiter, RecruitmentParameters
 from .tasks import Assignment, AssignmentStatus, Task
 from .worker import WorkerPopulation, WorkerProfile
+
+
+@runtime_checkable
+class AssignmentObserver(Protocol):
+    """Callbacks fired as assignments move through their lifecycle.
+
+    The platform owns every assignment transition — including terminations
+    triggered from inside :meth:`SimulatedCrowdPlatform.replace_worker`
+    during pool maintenance, which the LifeGuard never sees directly — so
+    observers registered here get an exact event stream.  The straggler
+    mitigator's incremental active-task index is the primary consumer.
+    """
+
+    def assignment_started(self, task: Task, assignment: Assignment) -> None: ...
+
+    def assignment_completed(self, task: Task, assignment: Assignment) -> None: ...
+
+    def assignment_terminated(self, task: Task, assignment: Assignment) -> None: ...
 
 
 @dataclass
@@ -96,6 +116,20 @@ class SimulatedCrowdPlatform:
         self._assignment_events: dict[int, Event] = {}
         self._assignments: dict[int, Assignment] = {}
         self._tasks_by_assignment: dict[int, Task] = {}
+        self._observers: list[AssignmentObserver] = []
+
+    # -- assignment observers ---------------------------------------------------
+
+    def add_assignment_observer(self, observer: AssignmentObserver) -> None:
+        """Register ``observer`` for assignment lifecycle notifications."""
+        self._observers.append(observer)
+
+    def remove_assignment_observer(self, observer: AssignmentObserver) -> None:
+        """Unregister ``observer``; missing observers are ignored."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
 
     # -- time ----------------------------------------------------------------
 
@@ -159,6 +193,8 @@ class SimulatedCrowdPlatform:
         self._assignments[assignment.assignment_id] = assignment
         self._tasks_by_assignment[assignment.assignment_id] = task
         self.counters.assignments_started += 1
+        for observer in self._observers:
+            observer.assignment_started(task, assignment)
         return assignment
 
     def complete_assignment(self, assignment: Assignment) -> list[int]:
@@ -185,6 +221,8 @@ class SimulatedCrowdPlatform:
         self.counters.assignments_completed += 1
         self.counters.records_labeled_paid += task.num_records
         self._assignment_events.pop(assignment.assignment_id, None)
+        for observer in self._observers:
+            observer.assignment_completed(task, assignment)
 
         if self.abandonment_rate > 0 and self._rng.random() < self.abandonment_rate:
             self.pool.remove_worker(assignment.worker_id, self.now)
@@ -219,6 +257,8 @@ class SimulatedCrowdPlatform:
         self.counters.assignments_terminated += 1
         # Workers are paid for partial work on terminated tasks (§4.1).
         self.counters.records_labeled_paid += task.num_records
+        for observer in self._observers:
+            observer.assignment_terminated(task, assignment)
 
     def task_for_assignment(self, assignment: Assignment) -> Task:
         return self._tasks_by_assignment[assignment.assignment_id]

@@ -13,6 +13,7 @@ and waiting/working time (for cost accounting).
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, Optional
@@ -62,6 +63,15 @@ class RetainerPool:
         #: Workers who have left (evicted or abandoned), kept for accounting.
         self._departed_slots: list[Slot] = []
         self._departed_observations: list[WorkerObservations] = []
+        #: Ascending ids of currently-available workers.  Valid as the fast
+        #: path for :meth:`available_workers` only while slot insertion has
+        #: been in ascending id order (true for every recruiter-driven pool:
+        #: population ids are handed out monotonically), because then the
+        #: legacy full-dict scan and the ascending-id walk return slots in
+        #: the same order — and dispatch order is behaviour, not just speed.
+        self._available_ids: list[int] = []
+        self._ids_monotonic = True
+        self._max_id_seen = -1
 
     # -- membership ---------------------------------------------------------
 
@@ -104,6 +114,13 @@ class RetainerPool:
         slot = Slot(worker=worker, joined_at=now, available_since=now)
         self._slots[worker.worker_id] = slot
         self._observations[worker.worker_id] = WorkerObservations(worker.worker_id)
+        if worker.worker_id <= self._max_id_seen:
+            # Insertion out of ascending-id order (hand-built pools): the
+            # available-id fast path would reorder dispatch, so disable it.
+            self._ids_monotonic = False
+        else:
+            self._max_id_seen = worker.worker_id
+        insort(self._available_ids, worker.worker_id)
         return slot
 
     def remove_worker(self, worker_id: int, now: float) -> Slot:
@@ -113,6 +130,7 @@ class RetainerPool:
         slot = self._slots.pop(worker_id)
         if slot.state == SlotState.AVAILABLE:
             slot.waiting_seconds += max(0.0, now - slot.available_since)
+            self._discard_available_id(worker_id)
         self._departed_slots.append(slot)
         self._departed_observations.append(self._observations.pop(worker_id))
         return slot
@@ -120,19 +138,20 @@ class RetainerPool:
     # -- availability -------------------------------------------------------
 
     def available_workers(self) -> list[Slot]:
-        # Direct state comparison: the dispatch loop calls this once per
-        # simulation event, and the property indirection showed up at scale.
+        # Fast path: walk the incrementally-maintained ascending-id list
+        # instead of scanning every slot per simulation event (the scan was
+        # a top-three profile entry at 1000-worker pools).  Identical order
+        # to the legacy dict scan while insertion stayed ascending.
+        if self._ids_monotonic:
+            slots = self._slots
+            return [slots[worker_id] for worker_id in self._available_ids]
         return [s for s in self._slots.values() if s.state is SlotState.AVAILABLE]
 
     def active_workers(self) -> list[Slot]:
         return [s for s in self._slots.values() if s.state == SlotState.ACTIVE]
 
     def num_available(self) -> int:
-        count = 0
-        for slot in self._slots.values():
-            if slot.state is SlotState.AVAILABLE:
-                count += 1
-        return count
+        return len(self._available_ids)
 
     def mark_active(self, worker_id: int, assignment_id: int, now: float) -> None:
         """Transition a slot from available to active, accruing waiting time."""
@@ -142,6 +161,7 @@ class RetainerPool:
         slot.waiting_seconds += max(0.0, now - slot.available_since)
         slot.state = SlotState.ACTIVE
         slot.current_assignment_id = assignment_id
+        self._discard_available_id(worker_id)
 
     def mark_available(
         self, worker_id: int, now: float, worked_seconds: float, completed: bool
@@ -161,6 +181,13 @@ class RetainerPool:
         slot.working_seconds += max(0.0, worked_seconds)
         if completed:
             slot.tasks_completed += 1
+        insort(self._available_ids, worker_id)
+
+    def _discard_available_id(self, worker_id: int) -> None:
+        ids = self._available_ids
+        index = bisect_left(ids, worker_id)
+        if index < len(ids) and ids[index] == worker_id:
+            ids.pop(index)
 
     # -- observations (for maintenance / TermEst) ----------------------------
 

@@ -100,7 +100,7 @@ def run_combined_experiment(
     num_records = num_tasks * records_per_task
     dataset = make_labeling_workload(num_records=num_records, seed=seed)
     for label, mitigation, maintenance in COMBINED_CONFIGURATIONS:
-        pop = population or mixed_speed_population(seed=seed)
+        pop = population if population is not None else mixed_speed_population(seed=seed)
         result.runs[label] = run_configuration(
             _combined_config(
                 mitigation, maintenance, pool_size, records_per_task, threshold, seed
@@ -174,7 +174,7 @@ def run_termest_experiment(
         ("without", True, False),
         ("reference", False, True),
     ):
-        pop = population or mixed_speed_population(seed=seed)
+        pop = population if population is not None else mixed_speed_population(seed=seed)
         runs[label] = run_configuration(
             config(mitigation, use_termest),
             dataset,

@@ -118,7 +118,7 @@ def run_configuration(
     observe the per-batch :class:`ProgressEvent` stream while the run
     advances.
     """
-    population = population or mixed_speed_population(seed=config.seed)
+    population = population if population is not None else mixed_speed_population(seed=config.seed)
     spec = JobSpec(
         dataset=dataset,
         config=config,

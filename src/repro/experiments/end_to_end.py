@@ -148,7 +148,7 @@ def run_end_to_end_experiment(
     for dataset in datasets:
         comparison = EndToEndComparison(dataset_name=dataset.name)
         for name, config in strategy_configs(pool_size=pool_size, seed=seed).items():
-            pop = population or mixed_speed_population(seed=seed)
+            pop = population if population is not None else mixed_speed_population(seed=seed)
             label = f"{dataset.name}/{name}"
             observer = None
             if on_event is not None:

@@ -134,7 +134,7 @@ def compare_strategies_on_dataset(
     """Run all three strategies on one dataset and collect learning curves."""
     cell = StrategyCurves(dataset_name=dataset.name, active_fraction=active_fraction)
     for strategy in STRATEGIES:
-        pop = population or mixed_speed_population(seed=seed)
+        pop = population if population is not None else mixed_speed_population(seed=seed)
         run = run_configuration(
             _learning_config(strategy, pool_size, active_fraction, seed),
             dataset,

@@ -125,7 +125,7 @@ def run_pool_maintenance_experiment(
     for complexity, records_per_task in complexities.items():
         num_records = num_tasks * records_per_task
         dataset = make_labeling_workload(num_records=num_records, seed=seed)
-        pop = population or mixed_speed_population(seed=seed + records_per_task)
+        pop = population if population is not None else mixed_speed_population(seed=seed + records_per_task)
         maintained = run_configuration(
             _maintenance_config(records_per_task, threshold, pool_size, seed),
             dataset,
@@ -134,7 +134,7 @@ def run_pool_maintenance_experiment(
             label=f"{complexity}/PM{threshold:g}",
             seed=seed,
         )
-        pop_off = population or mixed_speed_population(seed=seed + records_per_task)
+        pop_off = population if population is not None else mixed_speed_population(seed=seed + records_per_task)
         unmaintained = run_configuration(
             _maintenance_config(records_per_task, None, pool_size, seed),
             dataset,

@@ -130,7 +130,7 @@ def run_straggler_experiment(
     num_records = num_tasks * records_per_task
     dataset = make_labeling_workload(num_records=num_records, seed=seed)
     for ratio in ratios:
-        pop_on = population or mixed_speed_population(seed=seed)
+        pop_on = population if population is not None else mixed_speed_population(seed=seed)
         with_mitigation = run_configuration(
             _straggler_config(ratio, True, pool_size, records_per_task, seed),
             dataset,
@@ -139,7 +139,7 @@ def run_straggler_experiment(
             label=f"SM R={ratio:g}",
             seed=seed,
         )
-        pop_off = population or mixed_speed_population(seed=seed)
+        pop_off = population if population is not None else mixed_speed_population(seed=seed)
         without_mitigation = run_configuration(
             _straggler_config(ratio, False, pool_size, records_per_task, seed),
             dataset,

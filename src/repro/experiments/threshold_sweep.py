@@ -145,7 +145,7 @@ def run_threshold_sweep(
             learning_strategy=LearningStrategy.NONE,
             seed=seed,
         )
-        pop = population or mixed_speed_population(seed=seed)
+        pop = population if population is not None else mixed_speed_population(seed=seed)
         run = run_configuration(
             config,
             dataset,

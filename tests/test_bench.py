@@ -297,3 +297,56 @@ class TestCommittedBaselines:
         report = compare_documents(before, after, strict=True)
         assert report.passed
         assert report.events_ratio >= 2.0
+
+
+class TestConcurrencyWorkload:
+    #: Small enough for unit tests: 2 jobs x 20 records on 3-worker pools.
+    TINY = {"num_jobs": 2, "max_workers": 2, "num_records": 20, "pool_size": 3}
+
+    def test_registered_with_defaults(self):
+        assert "concurrency" in available_workloads()
+        spec = get_workload("concurrency")
+        assert spec.defaults["num_jobs"] > 0
+        assert spec.defaults["max_workers"] > 0
+
+    def test_outcome_aggregates_all_jobs(self):
+        outcome = get_workload("concurrency").execute(seed=0, **self.TINY)
+        assert outcome.labels == 2 * 20
+        assert outcome.details["per_job_labels"] == [20, 20]
+        assert outcome.events_processed > 0
+        assert outcome.cost > 0
+
+    def test_deterministic_across_repeats(self):
+        """Thread interleaving must not leak into the fingerprint."""
+        result = run_benchmark(
+            "concurrency", seed=0, repeat=3, warmup=0, params=self.TINY
+        )
+        assert result.outcome.labels == 2 * 20
+
+    def test_jobs_with_distinct_seeds_differ(self):
+        first = get_workload("concurrency").execute(seed=0, **self.TINY)
+        second = get_workload("concurrency").execute(seed=1, **self.TINY)
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_emits_schema_valid_json(self, tmp_path):
+        result = run_benchmark(
+            "concurrency", seed=0, repeat=1, warmup=0, params=self.TINY
+        )
+        path = write_result(result, tmp_path / "BENCH_concurrency.json")
+        document = load_result(path)
+        assert document["workload"] == "concurrency"
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["labels"] == 2 * 20
+
+    def test_cli_run_writes_json(self, tmp_path, capsys):
+        target = tmp_path / "BENCH_concurrency.json"
+        code = main(
+            [
+                "bench", "concurrency", "--repeat", "1", "--warmup", "0",
+                "--json", str(target),
+                "--param", "num_jobs=2", "--param", "max_workers=2",
+                "--param", "num_records=20", "--param", "pool_size=3",
+            ]
+        )
+        assert code == 0
+        assert load_result(target)["workload"] == "concurrency"

@@ -102,3 +102,54 @@ class TestPoolSizeGuidance:
         system = CLAMShell(dataset=easy_dataset, population=small_population)
         with pytest.raises(ValueError):
             system.pool_size_guidance((0,))
+
+
+class TestFacadeEngineEquivalence:
+    """Regression for the facade-vs-engine divergence: the facade's
+    constructor used `population or default(...)`, and parametric
+    populations are falsy (len() == 0), so a caller's population was
+    silently swapped for the default one — the two entry points then
+    simulated different crowds from identical inputs."""
+
+    def test_parametric_population_is_not_replaced(self):
+        from repro.experiments.common import mixed_speed_population
+
+        population = mixed_speed_population(seed=3)
+        assert len(population) == 0  # parametric: falsy but very much real
+        system = CLAMShell(
+            config=full_clamshell(pool_size=5, seed=3), population=population
+        )
+        assert system.population is population
+
+    def test_facade_and_engine_produce_identical_labels(self):
+        from repro.api.engine import Engine, JobSpec
+        from repro.experiments.common import make_labeling_workload, mixed_speed_population
+
+        seed = 0
+        dataset = make_labeling_workload(num_records=120, seed=seed)
+        config = CLAMShellConfig(
+            pool_size=6,
+            straggler_mitigation=True,
+            maintenance_threshold=8.0,
+            learning_strategy=LearningStrategy.NONE,
+            seed=seed,
+        )
+        facade_result = CLAMShell(
+            config=config,
+            dataset=dataset,
+            population=mixed_speed_population(seed=seed),
+        ).run(num_records=60)
+        engine_result = Engine().run(
+            JobSpec(
+                dataset=dataset,
+                config=config,
+                population=mixed_speed_population(seed=seed),
+                num_records=60,
+            )
+        )
+        assert engine_result.labels == facade_result.labels
+        assert (
+            engine_result.metrics.total_wall_clock
+            == facade_result.metrics.total_wall_clock
+        )
+        assert engine_result.total_cost == facade_result.total_cost

@@ -312,3 +312,75 @@ class TestDeprecations:
             system.build_platform()
         with pytest.deprecated_call():
             system.build_batcher()
+
+
+class TestRunManyWithStats:
+    def _specs(self, dataset, count=3):
+        return [
+            JobSpec(
+                dataset=dataset,
+                config=full_clamshell(pool_size=4, seed=s),
+                num_records=15,
+                name=f"stats-job-{s}",
+            )
+            for s in range(count)
+        ]
+
+    def test_pairs_follow_spec_order_with_per_job_stats(self, dataset):
+        specs = self._specs(dataset)
+        with Engine(max_workers=3) as engine:
+            paired = engine.run_many_with_stats(specs, timeout=300)
+        assert len(paired) == 3
+        for result, stats in paired:
+            assert result.metrics.records_labeled == 15
+            assert stats.labels == 15
+            assert stats.events_processed > 0
+            assert stats.sim_seconds > 0
+            assert stats.total_cost == pytest.approx(result.total_cost)
+
+    def test_concurrent_stats_match_inline_run_with_stats(self, dataset):
+        specs = self._specs(dataset, count=2)
+        with Engine(max_workers=2) as engine:
+            paired = engine.run_many_with_stats(specs, timeout=300)
+        for spec, (_, concurrent_stats) in zip(specs, paired):
+            _, inline_stats = Engine().run_with_stats(spec)
+            assert concurrent_stats == inline_stats
+
+    def test_job_stats_requires_completion(self, dataset):
+        spec = self._specs(dataset, count=1)[0]
+        with Engine(max_workers=1) as engine:
+            job = engine.submit(spec)
+            stats = job.stats(timeout=300)
+        assert stats.labels == 15
+
+
+class TestLegacyBackendWithoutObservers:
+    def test_backend_lacking_observer_hooks_falls_back_to_scan(self, dataset):
+        """Backends written against the pre-observer CrowdBackend protocol
+        must keep working: the LifeGuard skips the active-task index (brute
+        scan path) instead of crashing on the missing hooks."""
+
+        class MinimalBackend:
+            def __init__(self, **kwargs):
+                self._inner = create_backend("simulated", **kwargs)
+
+            def __getattr__(self, name):
+                if name in ("add_assignment_observer", "remove_assignment_observer"):
+                    raise AttributeError(name)
+                return getattr(self._inner, name)
+
+        register_backend("minimal-legacy", MinimalBackend)
+        try:
+            spec = JobSpec(
+                dataset=dataset,
+                config=full_clamshell(pool_size=4, seed=0),
+                num_records=10,
+                backend="minimal-legacy",
+            )
+            legacy_result = Engine().run(spec)
+            modern_result = Engine().run(spec.with_overrides(backend="simulated"))
+        finally:
+            unregister_backend("minimal-legacy")
+        assert legacy_result.metrics.records_labeled == 10
+        # Scan and indexed paths agree, so the backends' results match too.
+        assert legacy_result.labels == modern_result.labels

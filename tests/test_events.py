@@ -212,3 +212,106 @@ class TestEventLoop:
         loop = EventLoop(queue)
         queue.schedule(1.0, EventKind.WORKER_RECRUITED)
         assert loop.run_all() == 1
+
+
+class TestCancelThenPopLiveness:
+    """The live counter must stay exact through every cancel/pop interleaving:
+    the LifeGuard's dispatch loop reads ``bool(queue)`` once per event, and a
+    drifting counter either deadlocks a batch or spins it forever."""
+
+    def test_cancel_before_pop_keeps_len_exact(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, EventKind.CUSTOM, "a")
+        queue.schedule(2.0, EventKind.CUSTOM, "b")
+        assert len(queue) == 2
+        first.cancel()
+        assert len(queue) == 1
+        assert bool(queue)
+        # The cancelled event is skipped, not returned.
+        assert queue.pop().payload == "b"
+        assert len(queue) == 0
+        assert not queue
+
+    def test_cancel_after_pop_does_not_double_count(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, EventKind.CUSTOM)
+        queue.schedule(2.0, EventKind.CUSTOM)
+        popped = queue.pop()
+        assert popped is event
+        # Cancelling an already-popped event must not touch the live count.
+        event.cancel()
+        assert len(queue) == 1
+        queue.pop()
+        assert len(queue) == 0
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, EventKind.CUSTOM)
+        queue.schedule(2.0, EventKind.CUSTOM)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_head_then_peek_advances_past_it(self):
+        queue = EventQueue()
+        head = queue.schedule(1.0, EventKind.CUSTOM, "head")
+        queue.schedule(2.0, EventKind.CUSTOM, "next")
+        head.cancel()
+        peeked = queue.peek()
+        assert peeked is not None and peeked.payload == "next"
+        # Peek must not consume liveness.
+        assert len(queue) == 1
+
+    def test_interleaved_cancel_pop_sequence(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(t), EventKind.CUSTOM, t) for t in range(1, 7)]
+        events[0].cancel()
+        events[3].cancel()
+        seen = []
+        while queue:
+            seen.append(queue.pop().payload)
+            if seen == [2]:
+                events[4].cancel()
+        assert seen == [2, 3, 6]
+        assert queue.events_processed == 3
+
+
+class TestHeapExhaustion:
+    def test_pop_from_empty_queue_raises(self):
+        queue = EventQueue()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_pop_after_draining_raises(self):
+        queue = EventQueue()
+        queue.schedule(1.0, EventKind.CUSTOM)
+        queue.pop()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_pop_when_every_event_was_cancelled_raises(self):
+        queue = EventQueue()
+        events = [queue.schedule(float(t), EventKind.CUSTOM) for t in range(1, 4)]
+        for event in events:
+            event.cancel()
+        assert not queue
+        assert len(queue) == 0
+        with pytest.raises(IndexError):
+            queue.pop()
+        # Exhaustion by cancellation must not move the clock.
+        assert queue.now == 0.0
+
+    def test_peek_on_cancelled_only_heap_returns_none(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, EventKind.CUSTOM)
+        event.cancel()
+        assert queue.peek() is None
+
+    def test_queue_usable_after_exhaustion(self):
+        queue = EventQueue()
+        queue.schedule(1.0, EventKind.CUSTOM)
+        queue.pop()
+        with pytest.raises(IndexError):
+            queue.pop()
+        queue.schedule(2.0, EventKind.CUSTOM, "again")
+        assert queue.pop().payload == "again"

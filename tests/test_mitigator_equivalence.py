@@ -1,0 +1,264 @@
+"""Equivalence layer: the incremental active-task index vs the brute scan.
+
+The straggler mitigator serves dispatch from an incrementally-maintained
+:class:`~repro.core.active_index.ActiveTaskIndex`; the fused brute-force
+candidate scan (:meth:`StragglerMitigator.pick_task_scan`) is kept as the
+reference oracle.  These tests hold the contract the optimisation was built
+under: for any seed, pool size, and batch configuration, the indexed run
+must produce *bit-identical* labels, platform cost counters, simulation
+clocks, and dollar costs to the oracle run — same RNG stream, same
+assignment-by-assignment schedule.
+
+A mismatch here means the index's view of the batch diverged from the task
+objects (a missed callback, a wrong count, a reordered candidate list) and
+would silently change every published benchmark number.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api.engine import JobSpec, build_run
+from repro.api.events import drain_stream
+from repro.core.active_index import ActiveTaskIndex
+from repro.core.config import (
+    CLAMShellConfig,
+    LearningStrategy,
+    StragglerRoutingPolicy,
+)
+from repro.crowd.tasks import Assignment, Batch, Task
+from repro.experiments.common import make_labeling_workload, mixed_speed_population
+
+
+def _labeling_config(**overrides) -> CLAMShellConfig:
+    base = dict(
+        straggler_mitigation=True,
+        maintenance_threshold=None,
+        learning_strategy=LearningStrategy.NONE,
+    )
+    base.update(overrides)
+    return CLAMShellConfig(**base)
+
+
+def _run(config: CLAMShellConfig, num_records: int, use_index: bool, **mitigator_overrides):
+    """One full engine-path run; returns everything that must match."""
+    dataset = make_labeling_workload(num_records=2 * num_records, seed=config.seed)
+    spec = JobSpec(
+        dataset=dataset,
+        config=config,
+        population=mixed_speed_population(seed=config.seed),
+        num_records=num_records,
+    )
+    platform, batcher = build_run(spec)
+    mitigator = batcher.lifeguard.mitigator
+    mitigator.use_index = use_index
+    for name, value in mitigator_overrides.items():
+        setattr(mitigator, name, value)
+    result = drain_stream(batcher.run_iter(num_records=num_records))
+    return {
+        "labels": result.labels,
+        "counters": dataclasses.asdict(platform.counters),
+        "sim_seconds": platform.now,
+        "total_cost": result.total_cost,
+        "events_processed": platform.queue.events_processed,
+        "waiting_seconds": platform.pool.total_waiting_seconds(),
+        "working_seconds": platform.pool.total_working_seconds(),
+    }
+
+
+def _assert_equivalent(config: CLAMShellConfig, num_records: int = 60, **mitigator_overrides):
+    indexed = _run(config, num_records, use_index=True, **mitigator_overrides)
+    oracle = _run(config, num_records, use_index=False, **mitigator_overrides)
+    assert indexed == oracle
+
+
+class TestPropertySweep:
+    """Seeds x pool sizes x batch configurations, indexed vs oracle."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("pool_size", [3, 9, 17])
+    def test_plain_mitigation(self, seed, pool_size):
+        _assert_equivalent(_labeling_config(pool_size=pool_size, seed=seed))
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    @pytest.mark.parametrize("pool_batch_ratio", [0.5, 2.0])
+    def test_batch_ratio_regimes(self, seed, pool_batch_ratio):
+        _assert_equivalent(
+            _labeling_config(
+                pool_size=8, pool_batch_ratio=pool_batch_ratio, seed=seed
+            )
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("votes_required", [2, 3])
+    def test_quality_control_redundancy(self, seed, votes_required):
+        """Redundancy makes the involvement filter non-vacuous."""
+        _assert_equivalent(
+            _labeling_config(pool_size=8, votes_required=votes_required, seed=seed),
+            num_records=40,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_grouped_records_per_task(self, seed):
+        _assert_equivalent(
+            _labeling_config(pool_size=6, records_per_task=5, seed=seed)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 5])
+    def test_maintenance_and_abandonment(self, seed):
+        """Evictions terminate assignments from inside the platform — the
+        path only the assignment observers see."""
+        _assert_equivalent(
+            _labeling_config(
+                pool_size=10,
+                maintenance_threshold=8.0,
+                abandonment_rate=0.05,
+                seed=seed,
+            )
+        )
+
+    @pytest.mark.parametrize("max_extra", [0, 1, 3])
+    def test_duplicate_caps(self, max_extra):
+        """The cap forces the per-candidate filtered (medium) index path."""
+        _assert_equivalent(
+            _labeling_config(pool_size=9, seed=2),
+            max_extra_assignments=max_extra,
+        )
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            StragglerRoutingPolicy.LONGEST_RUNNING,
+            StragglerRoutingPolicy.FEWEST_ACTIVE,
+            StragglerRoutingPolicy.ORACLE_SLOWEST,
+        ],
+    )
+    def test_non_random_routing_policies(self, policy):
+        _assert_equivalent(
+            _labeling_config(pool_size=9, straggler_routing=policy, seed=1)
+        )
+
+    def test_mitigation_disabled(self):
+        _assert_equivalent(
+            _labeling_config(pool_size=8, straggler_mitigation=False, seed=3)
+        )
+
+    def test_quality_control_without_decoupling(self):
+        _assert_equivalent(
+            _labeling_config(
+                pool_size=8,
+                votes_required=2,
+                decouple_quality_control=False,
+                seed=1,
+            ),
+            num_records=40,
+        )
+
+
+class TestIndexUnit:
+    """Direct checks of the index's incremental view against task state."""
+
+    @staticmethod
+    def _task(task_id, votes_required=1):
+        return Task(
+            task_id=task_id,
+            record_ids=[task_id],
+            true_labels=[0],
+            votes_required=votes_required,
+        )
+
+    @staticmethod
+    def _assign(task, worker_id, assignment_id):
+        assignment = Assignment(
+            assignment_id=assignment_id,
+            task_id=task.task_id,
+            worker_id=worker_id,
+            started_at=0.0,
+            duration=10.0,
+        )
+        task.add_assignment(assignment)
+        return assignment
+
+    def test_tasks_enter_on_dispatch_and_leave_on_completion(self):
+        tasks = [self._task(i) for i in range(4)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        index = ActiveTaskIndex(batch)
+        assert index.live_count == 0
+
+        a0 = self._assign(tasks[0], worker_id=1, assignment_id=0)
+        index.assignment_started(tasks[0], a0)
+        a2 = self._assign(tasks[2], worker_id=2, assignment_id=1)
+        index.assignment_started(tasks[2], a2)
+        assert index.live_count == 2
+        assert [t.task_id for t in index.iter_live()] == [0, 2]
+        assert index.kth_live_task(0) is tasks[0]
+        assert index.kth_live_task(1) is tasks[2]
+
+        a0.complete(at=5.0, labels=[0])
+        index.assignment_completed(tasks[0], a0)
+        tasks[0].record_answer(worker_id=1, labels=[0], at=5.0)
+        index.task_completed(tasks[0])
+        assert index.live_count == 1
+        assert index.kth_live_task(0) is tasks[2]
+        assert [t.task_id for t in index.iter_live()] == [2]
+
+    def test_active_counts_track_assignment_status(self):
+        task = self._task(0)
+        batch = Batch(batch_id=0, tasks=[task])
+        index = ActiveTaskIndex(batch)
+        a0 = self._assign(task, worker_id=1, assignment_id=0)
+        index.assignment_started(task, a0)
+        a1 = self._assign(task, worker_id=2, assignment_id=1)
+        index.assignment_started(task, a1)
+        assert index.active_assignments_of(task) == 2 == task.num_active_assignments
+
+        a1.terminate(at=3.0)
+        index.assignment_terminated(task, a1)
+        assert index.active_assignments_of(task) == 1 == task.num_active_assignments
+
+    def test_starved_task_surfaces_in_batch_order(self):
+        tasks = [self._task(i) for i in range(3)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        index = ActiveTaskIndex(batch)
+        assignments = [
+            self._assign(tasks[i], worker_id=i, assignment_id=i) for i in range(3)
+        ]
+        for task, assignment in zip(tasks, assignments):
+            index.assignment_started(task, assignment)
+        assert index.first_starved() is None
+
+        # Terminate tasks 2 then 1: the *first in batch order* must win.
+        assignments[2].terminate(at=1.0)
+        index.assignment_terminated(tasks[2], assignments[2])
+        assignments[1].terminate(at=1.0)
+        index.assignment_terminated(tasks[1], assignments[1])
+        assert index.first_starved() is tasks[1]
+
+        # Reviving task 1 moves the starved pointer to task 2.
+        revived = self._assign(tasks[1], worker_id=4, assignment_id=10)
+        index.assignment_started(tasks[1], revived)
+        assert index.first_starved() is tasks[2]
+
+    def test_involvement_only_tracked_under_quality_control(self):
+        plain = ActiveTaskIndex(Batch(batch_id=0, tasks=[self._task(0)]))
+        assert not plain.quality_controlled
+
+        task = self._task(0, votes_required=2)
+        index = ActiveTaskIndex(Batch(batch_id=1, tasks=[task]))
+        assert index.quality_controlled
+        a0 = self._assign(task, worker_id=1, assignment_id=0)
+        index.assignment_started(task, a0)
+        assert 0 in index.involved_tasks(1)
+
+        # Termination without an answer releases the worker...
+        a0.terminate(at=2.0)
+        index.assignment_terminated(task, a0)
+        assert 0 not in index.involved_tasks(1)
+
+        # ...but an answer keeps them involved even after termination.
+        a1 = self._assign(task, worker_id=2, assignment_id=1)
+        index.assignment_started(task, a1)
+        task.record_answer(worker_id=2, labels=[0], at=3.0)
+        a1.complete(at=3.0, labels=[0])
+        index.assignment_completed(task, a1)
+        assert 0 in index.involved_tasks(2)

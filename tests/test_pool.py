@@ -137,3 +137,44 @@ class TestObservations:
     def test_mean_true_latency_empty_pool_rejected(self):
         with pytest.raises(ValueError):
             RetainerPool().mean_true_latency()
+
+
+class TestAvailableWorkersFastPath:
+    def _pool(self, count=5):
+        workers = [
+            WorkerProfile(worker_id=i, mean_latency=5.0, latency_std=1.0, accuracy=0.9)
+            for i in range(count)
+        ]
+        return pool_from_workers(workers)
+
+    def test_order_is_stable_through_activity_cycles(self):
+        pool = self._pool()
+        pool.mark_active(1, 0, now=0.0)
+        pool.mark_active(3, 1, now=0.0)
+        assert [s.worker_id for s in pool.available_workers()] == [0, 2, 4]
+        # Workers re-entering availability keep ascending-id order, matching
+        # the legacy full-scan order for recruiter-driven (monotonic) pools.
+        pool.mark_available(3, now=5.0, worked_seconds=5.0, completed=True)
+        pool.mark_available(1, now=6.0, worked_seconds=6.0, completed=True)
+        assert [s.worker_id for s in pool.available_workers()] == [0, 1, 2, 3, 4]
+
+    def test_num_available_tracks_transitions(self):
+        pool = self._pool(3)
+        assert pool.num_available() == 3
+        pool.mark_active(0, 0, now=0.0)
+        assert pool.num_available() == 2
+        pool.remove_worker(2, now=1.0)
+        assert pool.num_available() == 1
+        pool.mark_available(0, now=2.0, worked_seconds=2.0, completed=False)
+        assert pool.num_available() == 2
+
+    def test_out_of_order_insertion_falls_back_to_scan_order(self):
+        workers = [
+            WorkerProfile(worker_id=i, mean_latency=5.0, latency_std=1.0, accuracy=0.9)
+            for i in (4, 1, 3)
+        ]
+        pool = pool_from_workers(workers)
+        # Hand-built pool with non-ascending ids: availability must follow
+        # slot insertion order (the legacy scan), not sorted-id order.
+        assert [s.worker_id for s in pool.available_workers()] == [4, 1, 3]
+        assert pool.num_available() == 3

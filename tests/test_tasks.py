@@ -221,3 +221,78 @@ class TestHelpers:
 
     def test_flatten_labels_skips_unanswered(self):
         assert flatten_labels([make_task(0)]) == {}
+
+
+class TestFirstUnassignedCursor:
+    """The amortized cursor must stay correct when tasks complete out of
+    dispatch order — completion never reverts a task to UNASSIGNED, but the
+    cursor must also never skip a task that is still unassigned."""
+
+    @staticmethod
+    def _activate(task, assignment_id, worker_id=0):
+        assignment = make_assignment(
+            assignment_id=assignment_id, task_id=task.task_id, worker_id=worker_id
+        )
+        task.add_assignment(assignment)
+        return assignment
+
+    @staticmethod
+    def _complete(task, assignment, at=1.0):
+        assignment.complete(at=at, labels=[0] * len(task.record_ids))
+        task.record_answer(assignment.worker_id, assignment.labels, at=at)
+
+    def test_cursor_advances_past_dispatched_prefix(self):
+        tasks = [make_task(task_id=i) for i in range(4)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        assert batch.first_unassigned_task() is tasks[0]
+        self._activate(tasks[0], assignment_id=0)
+        self._activate(tasks[1], assignment_id=1)
+        assert batch.first_unassigned_task() is tasks[2]
+
+    def test_out_of_dispatch_order_completion_does_not_move_cursor(self):
+        tasks = [make_task(task_id=i) for i in range(4)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        a0 = self._activate(tasks[0], assignment_id=0, worker_id=0)
+        a1 = self._activate(tasks[1], assignment_id=1, worker_id=1)
+        # The *later-dispatched* task finishes first.
+        self._complete(tasks[1], a1, at=2.0)
+        assert batch.first_unassigned_task() is tasks[2]
+        self._complete(tasks[0], a0, at=5.0)
+        assert batch.first_unassigned_task() is tasks[2]
+        # Dispatching the cursor task moves it to the last one.
+        self._activate(tasks[2], assignment_id=2)
+        assert batch.first_unassigned_task() is tasks[3]
+
+    def test_cursor_exhausts_to_none(self):
+        tasks = [make_task(task_id=i) for i in range(2)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        for i, task in enumerate(tasks):
+            self._activate(task, assignment_id=i)
+        assert batch.first_unassigned_task() is None
+        # Completing tasks afterwards keeps it None (cursor never rewinds).
+        assert batch.first_unassigned_task() is None
+
+    def test_gap_in_dispatch_order_is_not_skipped(self):
+        tasks = [make_task(task_id=i) for i in range(3)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        # Hand-built state: the *middle* task was never dispatched while a
+        # later one was (cannot happen through the mitigator, but the cursor
+        # must not assume a contiguous prefix).
+        self._activate(tasks[0], assignment_id=0)
+        self._activate(tasks[2], assignment_id=1)
+        assert batch.first_unassigned_task() is tasks[1]
+
+    def test_compacting_view_drops_out_of_order_completions(self):
+        tasks = [make_task(task_id=i) for i in range(4)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        assignments = [
+            self._activate(task, assignment_id=i, worker_id=i)
+            for i, task in enumerate(tasks)
+        ]
+        # Complete tasks 3 and 1 (reverse of dispatch order): the view keeps
+        # batch order over the survivors.
+        self._complete(tasks[3], assignments[3], at=1.0)
+        self._complete(tasks[1], assignments[1], at=2.0)
+        assert [t.task_id for t in batch.incomplete_tasks_view()] == [0, 2]
+        self._complete(tasks[0], assignments[0], at=3.0)
+        assert [t.task_id for t in batch.incomplete_tasks_view()] == [2]
