@@ -112,8 +112,12 @@ class CrowdBackend(Protocol):
         """Evict ``worker_id`` and seat a replacement, if one is ready."""
         ...
 
-    def refill_pool(self, target_size: int) -> int:
-        """Seat reserve workers until the pool reaches ``target_size``."""
+    def refill_pool(self, target_size: int, as_replacements: bool = True) -> int:
+        """Seat reserve workers until the pool reaches ``target_size``.
+
+        Seats count toward the backend's ``workers_replaced`` counter unless
+        ``as_replacements`` is false (pool growth past its prior size).
+        """
         ...
 
     # -- bookkeeping -------------------------------------------------------

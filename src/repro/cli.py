@@ -77,8 +77,10 @@ def _run_threshold(seed: int, num_records: int) -> None:
     )
 
 
-def _run_straggler(seed: int, num_records: int) -> None:
-    result = run_straggler_experiment(num_tasks=max(40, num_records // 5), seed=seed)
+def _run_straggler(seed: int, num_records: int, **kwargs: object) -> None:
+    result = run_straggler_experiment(
+        num_tasks=max(40, num_records // 5), seed=seed, **kwargs
+    )
     _print(
         "Figures 9/10/11 — straggler mitigation",
         ["R", "latency speedup", "stddev reduction", "cost increase"],
@@ -86,8 +88,10 @@ def _run_straggler(seed: int, num_records: int) -> None:
     )
 
 
-def _run_combined(seed: int, num_records: int) -> None:
-    result = run_combined_experiment(num_tasks=max(40, num_records // 5), seed=seed)
+def _run_combined(seed: int, num_records: int, **kwargs: object) -> None:
+    result = run_combined_experiment(
+        num_tasks=max(40, num_records // 5), seed=seed, **kwargs
+    )
     _print(
         "Figure 12 — combined techniques",
         ["config", "total latency (s)", "batch std (s)", "cost ($)"],
@@ -95,8 +99,10 @@ def _run_combined(seed: int, num_records: int) -> None:
     )
 
 
-def _run_termest(seed: int, num_records: int) -> None:
-    result = run_termest_experiment(num_tasks=max(40, num_records // 5), seed=seed)
+def _run_termest(seed: int, num_records: int, **kwargs: object) -> None:
+    result = run_termest_experiment(
+        num_tasks=max(40, num_records // 5), seed=seed, **kwargs
+    )
     _print("Figure 14 — TermEst", ["configuration", "workers replaced"], result.summary_rows())
 
 
@@ -142,10 +148,12 @@ def _print_progress(label: str, event: ProgressEvent) -> None:
         )
 
 
-def _run_e2e(seed: int, num_records: int, stream: bool = False) -> None:
+def _run_e2e(
+    seed: int, num_records: int, stream: bool = False, **kwargs: object
+) -> None:
     on_event = _print_progress if stream else None
     result = run_end_to_end_experiment(
-        num_records=max(100, num_records), seed=seed, on_event=on_event
+        num_records=max(100, num_records), seed=seed, on_event=on_event, **kwargs
     )
     for comparison in result.comparisons:
         _print(
@@ -188,7 +196,11 @@ def _run_reweighting(seed: int, num_records: int) -> None:
     )
 
 
-EXPERIMENTS: dict[str, tuple[str, Callable[[int, int], None]]] = {
+#: Experiments whose drivers accept a straggler-mitigation duplicate cap and
+#: so honour ``--max-extra-assignments``.
+CAP_AWARE_EXPERIMENTS = frozenset({"straggler", "combined", "termest", "e2e"})
+
+EXPERIMENTS: dict[str, tuple[str, Callable[..., None]]] = {
     "taxonomy": ("Table 1 / Figure 2 — latency taxonomy and worker CDFs", _run_taxonomy),
     "maintenance": ("Figures 3-6 — pool maintenance", _run_maintenance),
     "threshold": ("Figures 7-8 — maintenance threshold sweep", _run_threshold),
@@ -202,6 +214,19 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[int, int], None]]] = {
     "quality-pool": ("Extension — quality-maintained pools", _run_quality_pool),
     "reweighting": ("Extension — hybrid re-weighting ablation", _run_reweighting),
 }
+
+
+def _parse_cap(raw: str) -> int:
+    """Parse ``--max-extra-assignments``: an int >= 0, or exactly -1."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {raw!r}")
+    if value < -1:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (or -1 for unlimited), got {value}"
+        )
+    return value
 
 
 def _parse_param(raw: str) -> tuple[str, object]:
@@ -343,6 +368,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print per-batch progress lines while the runs advance (e2e only)",
     )
+    run_parser.add_argument(
+        "--max-extra-assignments",
+        type=_parse_cap,
+        default=None,
+        metavar="N",
+        help=(
+            "cap concurrent straggler-mitigation duplicates per task "
+            "(N >= 0; -1 forces unlimited; default: each experiment's own "
+            "configuration; straggler/combined/termest/e2e only)"
+        ),
+    )
     _add_bench_parser(subparsers)
     return parser
 
@@ -357,12 +393,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_bench(args)
     description, runner = EXPERIMENTS[args.experiment]
     print(f"Running: {description} (seed={args.seed})")
+    kwargs: dict[str, object] = {}
+    if args.max_extra_assignments is not None:
+        if args.experiment in CAP_AWARE_EXPERIMENTS:
+            # -1 is the CLI spelling of "unlimited" (config None); other
+            # negatives are rejected at parse time.
+            kwargs["max_extra_assignments"] = (
+                None if args.max_extra_assignments == -1
+                else args.max_extra_assignments
+            )
+        else:
+            print(
+                "note: --max-extra-assignments only applies to "
+                f"{', '.join(sorted(CAP_AWARE_EXPERIMENTS))}; ignoring"
+            )
     if args.experiment == "e2e":
-        _run_e2e(args.seed, args.num_records, stream=args.stream)
+        _run_e2e(args.seed, args.num_records, stream=args.stream, **kwargs)
         return 0
     if args.stream:
         print("note: --stream is only supported for the e2e experiment; ignoring")
-    runner(args.seed, args.num_records)
+    runner(args.seed, args.num_records, **kwargs)
     return 0
 
 

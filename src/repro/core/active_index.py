@@ -16,6 +16,11 @@ to hundreds of workers (the candidate scan visited millions of tasks on the
   O(log n) without materialising the candidate list;
 * per-task active-assignment counts, so starvation / under-provisioning /
   duplicate-cap checks are O(1) instead of scanning ``task.assignments``;
+* when a duplicate cap (``max_extra_assignments``) is configured on a batch
+  without quality control, a second Fenwick layer over per-task *duplicable*
+  status (active assignments − outstanding votes < cap), so capped RANDOM
+  routing keeps the one-draw O(log n) order-statistic selection instead of
+  rebuilding a filtered candidate list per dispatch;
 * per-worker involvement sets (maintained only for quality-controlled
   batches, where a worker's completed answer does not complete the task),
   so the "worker already involved" filter is a set lookup;
@@ -93,7 +98,9 @@ class ActiveTaskIndex:
     or O(log n).
     """
 
-    def __init__(self, batch: "Batch") -> None:
+    def __init__(
+        self, batch: "Batch", max_extra_assignments: Optional[int] = None
+    ) -> None:
         self.batch = batch
         tasks = batch.tasks
         self._position = {task.task_id: i for i, task in enumerate(tasks)}
@@ -120,6 +127,24 @@ class ActiveTaskIndex:
         #: bookkeeping.
         self.quality_controlled = any(task.votes_required > 1 for task in tasks)
         self._involvement: dict[int, set[int]] = {}
+        #: Duplicate cap this index maintains its duplicable layer for
+        #: (``None`` = uncapped, no second Fenwick).
+        self.max_extra_assignments = max_extra_assignments
+        #: Second Fenwick layer: 0/1 per batch position, set when the task is
+        #: live and mitigation may still add a duplicate (active assignments
+        #: − outstanding votes < cap).  Only maintained for capped batches
+        #: without quality control — exactly the regime where the dispatch
+        #: candidate list is the full live set and the RANDOM draw can be
+        #: served as an order statistic.  (Quality-controlled batches need
+        #: the per-worker involvement filter and take the medium path.)
+        self._track_duplicable = (
+            max_extra_assignments is not None and not self.quality_controlled
+        )
+        self._dup_fenwick = (
+            _FenwickTree(len(tasks)) if self._track_duplicable else None
+        )
+        self._dup_count = 0
+        self._dup_positions: set[int] = set()
 
     # -- queries ---------------------------------------------------------------
 
@@ -163,6 +188,28 @@ class ActiveTaskIndex:
             if not task.is_complete:
                 yield task
 
+    @property
+    def duplicable_count(self) -> int:
+        """Number of live tasks mitigation may still duplicate (capped mode).
+
+        Only meaningful when the index was built with a duplicate cap on a
+        batch without quality control.  Starved tasks count as duplicable
+        (active = 0 < anything), but dispatch returns the first starved task
+        before ever drawing over this count, so the draw population is
+        exactly the brute-force scan's filtered candidate list.
+        """
+        return self._dup_count
+
+    def kth_duplicable_task(self, k: int) -> "Task":
+        """The k-th duplicable live task in batch order (0-based), O(log n)."""
+        if self._dup_fenwick is None:
+            raise RuntimeError("index was not built with a duplicate cap")
+        if not 0 <= k < self._dup_count:
+            raise IndexError(
+                f"k={k} out of range for {self._dup_count} duplicable tasks"
+            )
+        return self.batch.tasks[self._dup_fenwick.kth(k)]
+
     def involved_tasks(self, worker_id: int) -> frozenset[int]:
         """Task ids the worker holds an active assignment on or has answered.
 
@@ -193,11 +240,15 @@ class ActiveTaskIndex:
             self._active_counts[task_id] = count + 1
         if self.quality_controlled:
             self._involvement.setdefault(assignment.worker_id, set()).add(task_id)
+        if self._track_duplicable:
+            self._update_duplicable(task_id)
 
     def assignment_completed(self, task: "Task", assignment: "Assignment") -> None:
         """An assignment finished; the worker's answer keeps them involved."""
         if task.task_id in self._active_counts:
             self._active_counts[task.task_id] -= 1
+            if self._track_duplicable:
+                self._update_duplicable(task.task_id)
         # No starved push: completion is immediately followed by the
         # LifeGuard recording the answer; if the task stays incomplete
         # (quality control) with zero active work, the next termination or
@@ -209,6 +260,8 @@ class ActiveTaskIndex:
         task_id = task.task_id
         if task_id in self._active_counts:
             self._active_counts[task_id] -= 1
+            if self._track_duplicable:
+                self._update_duplicable(task_id)
         if self.quality_controlled:
             involved = self._involvement.get(assignment.worker_id)
             if involved and task_id in involved:
@@ -230,8 +283,31 @@ class ActiveTaskIndex:
         self._fenwick.add(position, -1)
         self._live -= 1
         self._dead_entries += 1
+        if self._track_duplicable:
+            self._update_duplicable(task_id)
 
     # -- internals ---------------------------------------------------------------
+
+    def _update_duplicable(self, task_id: int) -> None:
+        """Re-derive the duplicable bit for one task and flip the Fenwick.
+
+        Without quality control a live task's outstanding votes are exactly
+        one, so "duplicable" reduces to ``active_count <= cap``.  The bit is
+        maintained idempotently from current state, so any sequence of
+        callbacks (including transient mid-event states) converges to the
+        scan's view by the time dispatch runs.
+        """
+        live = task_id in self._active_counts and task_id not in self._completed_ids
+        desired = live and self._active_counts[task_id] <= self.max_extra_assignments
+        position = self._position[task_id]
+        if desired and position not in self._dup_positions:
+            self._dup_positions.add(position)
+            self._dup_fenwick.add(position, 1)
+            self._dup_count += 1
+        elif not desired and position in self._dup_positions:
+            self._dup_positions.discard(position)
+            self._dup_fenwick.add(position, -1)
+            self._dup_count -= 1
 
     def _note_possibly_starved(self, task: "Task") -> None:
         if (

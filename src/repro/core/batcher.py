@@ -107,6 +107,7 @@ class Batcher:
             enabled=config.straggler_mitigation,
             policy=config.straggler_routing,
             decouple_quality_control=config.decouple_quality_control,
+            max_extra_assignments=config.max_extra_assignments,
             seed=config.seed + 101,
         )
         maintainer = None
@@ -299,7 +300,11 @@ class Batcher:
             previous_batch_seconds = outcome.batch_latency
 
             all_labels.update(outcome.labels)
-            records_labeled += len(outcome.labels)
+            # Derived from the dedup'd label cache, not accumulated per
+            # batch: if a record is ever re-proposed (e.g. by a learner
+            # revisiting an id), its relabel must not inflate the count —
+            # RunMetrics.records_labeled == len(RunResult.labels) always.
+            records_labeled = len(all_labels)
             if self.learner is not None:
                 self.learner.incorporate_labels(outcome.labels, proposal)
 

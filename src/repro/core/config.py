@@ -88,6 +88,11 @@ class CLAMShellConfig:
     straggler_routing: StragglerRoutingPolicy = StragglerRoutingPolicy.RANDOM
     #: Decouple mitigation duplicates from quality-control redundancy (§4.1).
     decouple_quality_control: bool = True
+    #: Cap on concurrent mitigation duplicates per task, beyond the votes
+    #: quality control still needs (§4.1's bounded duplication).  ``None``
+    #: means unlimited; 0 disables duplication entirely (idle workers only
+    #: revive starved or under-provisioned tasks).
+    max_extra_assignments: Optional[int] = None
 
     # --- maintenance -----------------------------------------------------------------
     #: PM_ell — latency threshold in seconds; ``None`` disables maintenance (PM∞).
@@ -135,6 +140,8 @@ class CLAMShellConfig:
             raise ValueError("votes_required must be >= 1")
         if self.pool_batch_ratio <= 0:
             raise ValueError("pool_batch_ratio must be positive")
+        if self.max_extra_assignments is not None and self.max_extra_assignments < 0:
+            raise ValueError("max_extra_assignments must be >= 0 or None")
         if self.maintenance_threshold is not None and self.maintenance_threshold <= 0:
             raise ValueError("maintenance_threshold must be positive or None")
         if not 0.0 < self.maintenance_significance < 1.0:
@@ -181,7 +188,12 @@ class CLAMShellConfig:
             if self.maintenance_threshold is not None
             else "PMinf"
         )
-        sm = "SM" if self.straggler_mitigation else "NoSM"
+        if not self.straggler_mitigation:
+            sm = "NoSM"
+        elif self.max_extra_assignments is not None:
+            sm = f"SM(cap={self.max_extra_assignments})"
+        else:
+            sm = "SM"
         return (
             f"{sm}/{pm} Np={self.pool_size} Ng={self.records_per_task} "
             f"R={self.pool_batch_ratio:g} Alg={self.learning_strategy.value}"
@@ -199,6 +211,8 @@ def baseline_no_retainer(**overrides: object) -> CLAMShellConfig:
     config = CLAMShellConfig(
         straggler_mitigation=False,
         maintenance_threshold=None,
+        # No mitigation, so no duplicates to cap.
+        max_extra_assignments=None,
         learning_strategy=LearningStrategy.PASSIVE,
         pool_batch_ratio=0.25,
         asynchronous_retraining=False,
@@ -212,6 +226,8 @@ def baseline_retainer(**overrides: object) -> CLAMShellConfig:
     config = CLAMShellConfig(
         straggler_mitigation=False,
         maintenance_threshold=None,
+        # No mitigation, so no duplicates to cap.
+        max_extra_assignments=None,
         learning_strategy=LearningStrategy.ACTIVE,
         pool_batch_ratio=1.0,
         asynchronous_retraining=False,
@@ -224,6 +240,12 @@ def full_clamshell(**overrides: object) -> CLAMShellConfig:
     config = CLAMShellConfig(
         straggler_mitigation=True,
         maintenance_threshold=8.0,
+        # Bounded duplication (§4.1): at most two concurrent mitigation
+        # duplicates per task keeps nearly all of the latency win while
+        # avoiding the unlimited assignment tail at high pool-to-batch
+        # ratios.  Pass ``max_extra_assignments=None`` for the unbounded
+        # behaviour.
+        max_extra_assignments=2,
         learning_strategy=LearningStrategy.HYBRID,
         pool_batch_ratio=1.0,
         asynchronous_retraining=True,

@@ -170,8 +170,7 @@ class LifeGuard:
                 outcome.completion_times.append((platform.now, task.num_records))
                 consensus_by_task[task.task_id] = self._aggregate_task_labels(task)
             if self.maintainer is not None and self.maintain_during_batch:
-                events = self.maintainer.maintain(platform, batch_index=batch_index)
-                outcome.workers_replaced += len(events)
+                self.maintainer.maintain(platform, batch_index=batch_index)
             if self.pool_target_size is not None:
                 platform.refill_pool(self.pool_target_size)
             self._dispatch_available_workers(batch)
@@ -180,8 +179,7 @@ class LifeGuard:
         outcome.completed_at = platform.now
 
         if self.maintainer is not None and not self.maintain_during_batch:
-            events = self.maintainer.maintain(platform, batch_index=batch_index)
-            outcome.workers_replaced += len(events)
+            self.maintainer.maintain(platform, batch_index=batch_index)
             if self.pool_target_size is not None:
                 platform.refill_pool(self.pool_target_size)
 
@@ -205,9 +203,15 @@ class LifeGuard:
         outcome.assignments_terminated = (
             platform.counters.assignments_terminated - start_terminated
         )
-        outcome.workers_replaced = max(
-            outcome.workers_replaced,
-            platform.counters.workers_replaced - start_replaced,
+        # One source of truth: the platform counter, which every replacement
+        # path increments exactly once when a replacement is actually seated
+        # — maintainer evictions via replace_worker, and abandonment- or
+        # deferred-eviction-driven seats via refill_pool.  (This used to
+        # accumulate maintainer events *and* max() with the counter delta,
+        # which both missed refill seats and counted evictions that never
+        # found a replacement.)
+        outcome.workers_replaced = (
+            platform.counters.workers_replaced - start_replaced
         )
         if completed_durations:
             outcome.mean_pool_latency = float(
@@ -269,7 +273,9 @@ class LifeGuard:
         if self.pool_target_size is not None:
             platform.refill_pool(self.pool_target_size)
         else:
-            platform.refill_pool(len(platform.pool) + 1)
+            # No target: grow past the current size to break the stall.
+            # That seat replaces nobody, so it must not count as one.
+            platform.refill_pool(len(platform.pool) + 1, as_replacements=False)
         self._dispatch_available_workers(batch)
         return platform.counters.assignments_started > before
 

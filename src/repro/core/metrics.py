@@ -190,6 +190,6 @@ def variance_reduction_factor(
 
 def speedup_factor(baseline_latency: float, optimized_latency: float) -> float:
     """Ratio of baseline to optimised latency (values > 1 mean faster)."""
-    if baseline_latency < 0 or optimized_latency <= 0:
+    if baseline_latency <= 0 or optimized_latency <= 0:
         raise ValueError("latencies must be positive")
     return baseline_latency / optimized_latency

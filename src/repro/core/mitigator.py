@@ -81,7 +81,13 @@ class StragglerMitigator:
         consensus completes a task.  Returns ``None`` when indexing is
         disabled; :meth:`pick_task` then uses the brute-force scan.
         """
-        self._index = ActiveTaskIndex(batch) if self.use_index else None
+        self._index = (
+            ActiveTaskIndex(
+                batch, max_extra_assignments=self.max_extra_assignments
+            )
+            if self.use_index
+            else None
+        )
         return self._index
 
     def end_batch(self) -> None:
@@ -160,16 +166,22 @@ class StragglerMitigator:
         if (
             index.quality_controlled
             or self.policy is not StragglerRoutingPolicy.RANDOM
-            or self.max_extra_assignments is not None
+            or self.max_extra_assignments != index.max_extra_assignments
         ):
+            # Quality control makes the per-worker involvement filter
+            # non-vacuous, non-RANDOM policies need task attributes, and a
+            # cap changed after begin_batch has no maintained Fenwick layer:
+            # all take the per-candidate (medium) path.
             return self._pick_active_indexed(index, worker_id, pool, now)
 
         # Fast path — no quality control (an available worker cannot be
-        # involved in a still-active task), RANDOM routing, no duplicate
-        # cap: the candidate list is exactly the live active tasks in batch
-        # order, so routing reduces to one RNG draw over the live count and
-        # an O(log n) order-statistic lookup.  Draw order matches the scan:
-        # one ``integers(len(candidates))`` call, only when routing happens.
+        # involved in a still-active task) and RANDOM routing: the candidate
+        # list is exactly the live active tasks in batch order, so routing
+        # reduces to one RNG draw and an O(log n) order-statistic lookup —
+        # over the live count when duplication is unbounded, over the
+        # incrementally-maintained duplicable count when a cap is set.  Draw
+        # order matches the scan: one ``integers(len(candidates))`` call,
+        # only when routing happens.
         live = index.live_count
         if live == 0:
             return None
@@ -178,7 +190,12 @@ class StragglerMitigator:
             return starved
         if not self.enabled:
             return None
-        return index.kth_live_task(int(self._rng.integers(live)))
+        if self.max_extra_assignments is None:
+            return index.kth_live_task(int(self._rng.integers(live)))
+        duplicable = index.duplicable_count
+        if duplicable == 0:
+            return None
+        return index.kth_duplicable_task(int(self._rng.integers(duplicable)))
 
     def pick_task_scan(
         self,
@@ -260,8 +277,10 @@ class StragglerMitigator:
         pool: RetainerPool,
         now: float,
     ) -> Optional[Task]:
-        """Steps 2-4 over the index's live set (quality control, caps, or
-        non-RANDOM routing make the per-worker candidate list necessary).
+        """Steps 2-4 over the index's live set (quality control or non-RANDOM
+        routing make the per-worker candidate list necessary; capped RANDOM
+        routing without quality control stays on the fast path's duplicable
+        Fenwick layer instead).
 
         Mirrors :meth:`pick_task_scan` with O(1) involvement and
         active-count lookups in place of per-task assignment/answer scans.

@@ -292,11 +292,17 @@ class SimulatedCrowdPlatform:
         self.counters.workers_recruited += 1
         return replacement
 
-    def refill_pool(self, target_size: int) -> int:
+    def refill_pool(self, target_size: int, as_replacements: bool = True) -> int:
         """Seat reserve workers until the pool reaches ``target_size``.
 
         Returns the number of workers added.  Used to recover from
-        abandonment.
+        abandonment.  A refill seat normally replaces a worker the pool lost
+        (abandonment, or an eviction that found no reserve ready at the
+        time), so it counts toward ``workers_replaced`` exactly like the
+        ``replace_worker`` path — once, when the seat actually happens.
+        Callers growing the pool *past* its prior size (starvation recovery
+        with no configured target) pass ``as_replacements=False``: those
+        seats replace nobody and count only as recruitment.
         """
         added = 0
         while len(self.pool) < target_size:
@@ -305,6 +311,8 @@ class SimulatedCrowdPlatform:
                 break
             self.pool.add_worker(worker, now=self.now)
             self.counters.workers_recruited += 1
+            if as_replacements:
+                self.counters.workers_replaced += 1
             added += 1
         return added
 

@@ -75,6 +75,7 @@ def _combined_config(
     records_per_task: int,
     threshold: float,
     seed: int,
+    max_extra_assignments: Optional[int] = None,
 ) -> CLAMShellConfig:
     return CLAMShellConfig(
         pool_size=pool_size,
@@ -82,6 +83,7 @@ def _combined_config(
         pool_batch_ratio=1.0,
         straggler_mitigation=mitigation,
         maintenance_threshold=threshold if maintenance else None,
+        max_extra_assignments=max_extra_assignments,
         learning_strategy=LearningStrategy.NONE,
         seed=seed,
     )
@@ -94,6 +96,7 @@ def run_combined_experiment(
     threshold: float = 8.0,
     population: Optional[WorkerPopulation] = None,
     seed: int = 0,
+    max_extra_assignments: Optional[int] = None,
 ) -> CombinedExperimentResult:
     """Run the 2x2 straggler-mitigation x pool-maintenance factorial."""
     result = CombinedExperimentResult()
@@ -103,7 +106,8 @@ def run_combined_experiment(
         pop = population if population is not None else mixed_speed_population(seed=seed)
         result.runs[label] = run_configuration(
             _combined_config(
-                mitigation, maintenance, pool_size, records_per_task, threshold, seed
+                mitigation, maintenance, pool_size, records_per_task, threshold, seed,
+                max_extra_assignments=max_extra_assignments,
             ),
             dataset,
             population=pop,
@@ -150,6 +154,7 @@ def run_termest_experiment(
     termest_alpha: float = 1.0,
     population: Optional[WorkerPopulation] = None,
     seed: int = 0,
+    max_extra_assignments: Optional[int] = None,
 ) -> TermEstComparison:
     """Run the Figure-14 ablation: does TermEst restore the replacement rate?"""
     num_records = num_tasks * records_per_task
@@ -162,6 +167,7 @@ def run_termest_experiment(
             pool_batch_ratio=1.0,
             straggler_mitigation=mitigation,
             maintenance_threshold=threshold,
+            max_extra_assignments=max_extra_assignments,
             use_termest=use_termest,
             termest_alpha=termest_alpha,
             learning_strategy=LearningStrategy.NONE,

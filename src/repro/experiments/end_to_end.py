@@ -115,12 +115,32 @@ class EndToEndResult:
         raise KeyError(name)
 
 
-def strategy_configs(pool_size: int = 15, seed: int = 0) -> dict[str, CLAMShellConfig]:
-    """The three §6.6 strategies at a given pool size."""
+#: Sentinel meaning "keep each factory's own duplicate-cap default" —
+#: distinct from an explicit ``None``, which means unlimited duplication.
+FACTORY_CAP: object = object()
+
+
+def strategy_configs(
+    pool_size: int = 15,
+    seed: int = 0,
+    max_extra_assignments: object = FACTORY_CAP,
+) -> dict[str, CLAMShellConfig]:
+    """The three §6.6 strategies at a given pool size.
+
+    ``max_extra_assignments`` overrides the CLAMShell strategy's mitigation
+    duplicate cap (the baselines run without mitigation, so it does not
+    apply to them); leave it at :data:`FACTORY_CAP` to keep the
+    :func:`full_clamshell` default.
+    """
+    clamshell = full_clamshell(pool_size=pool_size, seed=seed)
+    if max_extra_assignments is not FACTORY_CAP:
+        clamshell = clamshell.with_overrides(
+            max_extra_assignments=max_extra_assignments
+        )
     return {
         "base_nr": baseline_no_retainer(pool_size=pool_size, seed=seed),
         "base_r": baseline_retainer(pool_size=pool_size, seed=seed),
-        "clamshell": full_clamshell(pool_size=pool_size, seed=seed),
+        "clamshell": clamshell,
     }
 
 
@@ -131,6 +151,7 @@ def run_end_to_end_experiment(
     population: Optional[WorkerPopulation] = None,
     seed: int = 0,
     on_event: Optional[Callable[[str, ProgressEvent], None]] = None,
+    max_extra_assignments: object = FACTORY_CAP,
 ) -> EndToEndResult:
     """Run the §6.6 comparison.
 
@@ -147,7 +168,11 @@ def run_end_to_end_experiment(
     result = EndToEndResult()
     for dataset in datasets:
         comparison = EndToEndComparison(dataset_name=dataset.name)
-        for name, config in strategy_configs(pool_size=pool_size, seed=seed).items():
+        for name, config in strategy_configs(
+            pool_size=pool_size,
+            seed=seed,
+            max_extra_assignments=max_extra_assignments,
+        ).items():
             pop = population if population is not None else mixed_speed_population(seed=seed)
             label = f"{dataset.name}/{name}"
             observer = None

@@ -105,6 +105,7 @@ def _straggler_config(
     pool_size: int,
     records_per_task: int,
     seed: int,
+    max_extra_assignments: Optional[int] = None,
 ) -> CLAMShellConfig:
     return CLAMShellConfig(
         pool_size=pool_size,
@@ -112,6 +113,7 @@ def _straggler_config(
         pool_batch_ratio=ratio,
         straggler_mitigation=mitigation,
         maintenance_threshold=None,
+        max_extra_assignments=max_extra_assignments,
         learning_strategy=LearningStrategy.NONE,
         seed=seed,
     )
@@ -124,15 +126,23 @@ def run_straggler_experiment(
     records_per_task: int = 5,
     population: Optional[WorkerPopulation] = None,
     seed: int = 0,
+    max_extra_assignments: Optional[int] = None,
 ) -> StragglerExperimentResult:
-    """Run the §6.3 experiment: SM on/off across pool-to-batch ratios."""
+    """Run the §6.3 experiment: SM on/off across pool-to-batch ratios.
+
+    ``max_extra_assignments`` bounds mitigation duplication per task
+    (``None`` reproduces the paper's unlimited behaviour).
+    """
     result = StragglerExperimentResult()
     num_records = num_tasks * records_per_task
     dataset = make_labeling_workload(num_records=num_records, seed=seed)
     for ratio in ratios:
         pop_on = population if population is not None else mixed_speed_population(seed=seed)
         with_mitigation = run_configuration(
-            _straggler_config(ratio, True, pool_size, records_per_task, seed),
+            _straggler_config(
+                ratio, True, pool_size, records_per_task, seed,
+                max_extra_assignments=max_extra_assignments,
+            ),
             dataset,
             population=pop_on,
             num_records=num_records,

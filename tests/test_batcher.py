@@ -97,6 +97,46 @@ class TestNoLearningRuns:
         # The small_population contains 10-28 s workers, so some evictions occur.
         assert len(result.replacements) >= 1
 
+    def test_records_labeled_matches_label_cache(self, labeling_dataset, small_population):
+        config = CLAMShellConfig(
+            pool_size=5, learning_strategy=LearningStrategy.NONE, seed=0
+        )
+        batcher = build_batcher(config, labeling_dataset, small_population)
+        result = batcher.run(num_records=30)
+        assert result.metrics.records_labeled == len(result.labels)
+
+    def test_reproposed_records_do_not_inflate_records_labeled(
+        self, labeling_dataset, small_population
+    ):
+        """A record proposed twice is labeled twice but counted once.
+
+        Regression: the run loop accumulated ``len(outcome.labels)`` per
+        batch while the label cache dedups record ids, so a re-proposed
+        record silently inflated ``RunMetrics.records_labeled`` past
+        ``len(RunResult.labels)``.
+        """
+
+        class OverlappingSelector:
+            """Proposes [0..4], then [3..7] — records 3 and 4 twice."""
+
+            def __init__(self):
+                self._proposals = [[0, 1, 2, 3, 4], [3, 4, 5, 6, 7]]
+
+            def next_records(self, count):
+                return self._proposals.pop(0) if self._proposals else []
+
+            def has_remaining(self):
+                return bool(self._proposals)
+
+        config = CLAMShellConfig(
+            pool_size=5, learning_strategy=LearningStrategy.NONE, seed=0
+        )
+        batcher = build_batcher(config, labeling_dataset, small_population)
+        batcher._selector = OverlappingSelector()
+        result = batcher.run(num_records=50)
+        assert sorted(result.labels) == list(range(8))
+        assert result.metrics.records_labeled == len(result.labels) == 8
+
     def test_votes_required_pays_for_extra_answers(self, labeling_dataset, small_population):
         single = CLAMShellConfig(
             pool_size=5, learning_strategy=LearningStrategy.NONE, votes_required=1, seed=0

@@ -298,6 +298,99 @@ class TestCommittedBaselines:
         assert report.passed
         assert report.events_ratio >= 2.0
 
+    def test_capped_baseline_is_schema_valid_and_capped(self):
+        document = load_result(BASELINES_DIR / "BENCH_scale_capped.json")
+        assert document["workload"] == "scale_capped"
+        assert document["params"]["max_extra_assignments"] == 2
+        assert document["events_per_second"] > 0
+
+    def test_capped_baseline_cuts_the_assignment_tail(self):
+        """The committed capped baseline shows >= 2x fewer assignment starts
+        than the uncapped scale baseline at the 1000-worker tier (and >= 2x
+        overall), for the same labels."""
+        uncapped = load_result(BASELINES_DIR / "BENCH_scale.json")
+        capped = load_result(BASELINES_DIR / "BENCH_scale_capped.json")
+        assert capped["labels"] == uncapped["labels"]
+        assert (
+            uncapped["cost"]["assignments_started"]
+            >= 2.0 * capped["cost"]["assignments_started"]
+        )
+
+        def tier_1000(document):
+            # Per-point details only exist in documents written after the
+            # cap landed; the committed capped file always has them.
+            [point] = [
+                p
+                for p in document["details"]["sweep"]
+                if p["pool_size"] == 1000
+            ]
+            return point
+
+        capped_point = tier_1000(capped)
+        assert capped_point["labels"] == 8000
+        # The uncapped tail starts ~8 assignments per record at this tier
+        # (64k starts for 8k records); the committed capped point must show
+        # at least the 2x cut the bounded tail promises.
+        uncapped_starts = tier_1000(uncapped).get("assignments_started", 64149.0)
+        assert uncapped_starts >= 2.0 * capped_point["assignments_started"]
+
+    def test_capped_baseline_matches_the_scan_oracle(self):
+        """The committed capped baseline (indexed dispatch) is bit-identical
+        in labels, cost counters, events, and simulated time to its
+        ``pick_task_scan`` twin (``--param use_index=false``)."""
+        oracle = load_result(BASELINES_DIR / "BENCH_scale_capped.oracle.json")
+        indexed = load_result(BASELINES_DIR / "BENCH_scale_capped.json")
+        assert oracle["params"]["use_index"] is False
+        report = compare_documents(oracle, indexed, strict=True)
+        assert report.passed, report.summary_lines()
+
+
+class TestScaleCappedWorkload:
+    TINY = {"sweep": [[6, 40]]}
+
+    def test_registered_with_cap_default(self):
+        assert "scale_capped" in available_workloads()
+        assert get_workload("scale_capped").defaults["max_extra_assignments"] == 2
+
+    def test_cap_reduces_assignment_starts_for_same_labels(self):
+        uncapped = get_workload("scale").execute(seed=0, **self.TINY)
+        capped = get_workload("scale_capped").execute(seed=0, **self.TINY)
+        assert capped.labels == uncapped.labels == 40
+        assert (
+            capped.counters["assignments_started"]
+            < uncapped.counters["assignments_started"]
+        )
+
+    def test_indexed_and_oracle_dispatch_agree(self):
+        """use_index=False (the pick_task_scan oracle) must fingerprint
+        identically to the indexed capped run."""
+        spec = get_workload("scale_capped")
+        indexed = spec.execute(seed=3, **self.TINY)
+        oracle = spec.execute(seed=3, use_index=False, **self.TINY)
+        assert indexed.fingerprint() == oracle.fingerprint()
+
+    def test_cli_accepts_capped_workload(self, tmp_path, capsys):
+        json_path = tmp_path / "BENCH_scale_capped.json"
+        code = main(
+            [
+                "bench",
+                "scale_capped",
+                "--repeat",
+                "1",
+                "--warmup",
+                "0",
+                "--param",
+                "sweep=[[6, 40]]",
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        document = json.loads(json_path.read_text())
+        assert document["workload"] == "scale_capped"
+        assert document["params"]["max_extra_assignments"] == 2
+        assert document["details"]["sweep"][0]["assignments_started"] > 0
+
 
 class TestConcurrencyWorkload:
     #: Small enough for unit tests: 2 jobs x 20 records on 3-worker pools.

@@ -153,3 +153,73 @@ class TestFacadeEngineEquivalence:
             == facade_result.metrics.total_wall_clock
         )
         assert engine_result.total_cost == facade_result.total_cost
+
+    def test_facade_and_engine_agree_with_duplicate_cap(self):
+        """The max_extra_assignments knob reaches the mitigator identically
+        through both entry points (it used to exist only on the mitigator
+        and was never set from config at all)."""
+        from repro.api.engine import Engine, JobSpec
+        from repro.experiments.common import make_labeling_workload, mixed_speed_population
+
+        seed = 1
+        dataset = make_labeling_workload(num_records=120, seed=seed)
+        config = CLAMShellConfig(
+            pool_size=6,
+            straggler_mitigation=True,
+            maintenance_threshold=None,
+            max_extra_assignments=1,
+            learning_strategy=LearningStrategy.NONE,
+            seed=seed,
+        )
+        facade = CLAMShell(
+            config=config,
+            dataset=dataset,
+            population=mixed_speed_population(seed=seed),
+        )
+        facade_result = facade.run(num_records=60)
+        assert (
+            facade.last_batcher.lifeguard.mitigator.max_extra_assignments == 1
+        )
+        engine_result = Engine().run(
+            JobSpec(
+                dataset=dataset,
+                config=config,
+                population=mixed_speed_population(seed=seed),
+                num_records=60,
+            )
+        )
+        assert engine_result.labels == facade_result.labels
+        assert (
+            engine_result.metrics.total_wall_clock
+            == facade_result.metrics.total_wall_clock
+        )
+        assert engine_result.total_cost == facade_result.total_cost
+
+    def test_duplicate_cap_reduces_assignment_starts(self):
+        """End to end through the facade: the cap bounds the tail."""
+        from repro.experiments.common import make_labeling_workload, mixed_speed_population
+
+        seed = 0
+        dataset = make_labeling_workload(num_records=160, seed=seed)
+
+        def starts(cap):
+            config = CLAMShellConfig(
+                pool_size=10,
+                # A large pool against a small batch maximises duplication.
+                pool_batch_ratio=2.0,
+                straggler_mitigation=True,
+                maintenance_threshold=None,
+                max_extra_assignments=cap,
+                learning_strategy=LearningStrategy.NONE,
+                seed=seed,
+            )
+            system = CLAMShell(
+                config=config,
+                dataset=dataset,
+                population=mixed_speed_population(seed=seed),
+            )
+            result = system.run(num_records=80)
+            assert len(result.labels) == 80
+            return system.last_platform.counters.assignments_started
+
+        assert starts(0) < starts(1) < starts(None)

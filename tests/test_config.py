@@ -34,11 +34,17 @@ class TestValidation:
             ("active_fraction", 0.0),
             ("candidate_sample_size", 0),
             ("latency_cost_tradeoff", 1.5),
+            ("max_extra_assignments", -1),
+            ("max_extra_assignments", -10),
         ],
     )
     def test_invalid_values_rejected(self, field, value):
         with pytest.raises(ValueError):
             CLAMShellConfig(**{field: value})
+
+    @pytest.mark.parametrize("cap", [None, 0, 1, 5])
+    def test_max_extra_assignments_accepts_none_and_non_negative(self, cap):
+        assert CLAMShellConfig(max_extra_assignments=cap).max_extra_assignments == cap
 
     def test_negative_pay_rates_rejected(self):
         with pytest.raises(ValueError):
@@ -77,6 +83,14 @@ class TestDerivedQuantities:
     def test_describe_pm_infinity(self):
         assert "PMinf" in CLAMShellConfig(maintenance_threshold=None).describe()
 
+    def test_describe_mentions_duplicate_cap(self):
+        assert "SM(cap=3)" in CLAMShellConfig(max_extra_assignments=3).describe()
+        assert "cap" not in CLAMShellConfig(max_extra_assignments=None).describe()
+        # No mitigation, no cap to mention.
+        assert "cap" not in CLAMShellConfig(
+            straggler_mitigation=False, max_extra_assignments=3
+        ).describe()
+
 
 class TestFactories:
     def test_base_nr_disables_everything(self):
@@ -98,6 +112,15 @@ class TestFactories:
         assert config.maintenance_enabled
         assert config.learning_strategy == LearningStrategy.HYBRID
         assert config.asynchronous_retraining
+
+    def test_full_clamshell_bounds_duplication(self):
+        assert full_clamshell().max_extra_assignments == 2
+        assert full_clamshell(max_extra_assignments=None).max_extra_assignments is None
+
+    def test_baselines_leave_duplication_uncapped(self):
+        # No mitigation in either baseline, so there are no duplicates to cap.
+        assert baseline_no_retainer().max_extra_assignments is None
+        assert baseline_retainer().max_extra_assignments is None
 
     def test_factories_accept_overrides(self):
         config = full_clamshell(pool_size=99, seed=7)

@@ -102,3 +102,84 @@ class TestCLI:
         assert main(["run", "termest", "--num-records", "150"]) == 0
         output = capsys.readouterr().out
         assert "TermEst" in output
+
+
+class TestMaxExtraAssignmentsFlag:
+    """Round-trip of --max-extra-assignments from argv to the drivers."""
+
+    def test_parser_accepts_cap(self):
+        args = build_parser().parse_args(
+            ["run", "straggler", "--max-extra-assignments", "2"]
+        )
+        assert args.max_extra_assignments == 2
+
+    def test_parser_defaults_to_no_override(self):
+        args = build_parser().parse_args(["run", "straggler"])
+        assert args.max_extra_assignments is None
+
+    def test_parser_rejects_negatives_other_than_minus_one(self):
+        # -2 must not silently mean "unlimited" — only -1 does.
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "straggler", "--max-extra-assignments", "-2"]
+            )
+
+    def test_cap_reaches_the_straggler_driver(self, monkeypatch, capsys):
+        captured = {}
+
+        def fake_driver(*args, **kwargs):
+            captured.update(kwargs)
+            raise SystemExit(0)  # skip the actual simulation
+
+        monkeypatch.setattr("repro.cli.run_straggler_experiment", fake_driver)
+        with pytest.raises(SystemExit):
+            main(["run", "straggler", "--max-extra-assignments", "2"])
+        assert captured["max_extra_assignments"] == 2
+
+    def test_negative_one_means_unlimited(self, monkeypatch):
+        captured = {}
+
+        def fake_driver(*args, **kwargs):
+            captured.update(kwargs)
+            raise SystemExit(0)
+
+        monkeypatch.setattr("repro.cli.run_straggler_experiment", fake_driver)
+        with pytest.raises(SystemExit):
+            main(["run", "straggler", "--max-extra-assignments", "-1"])
+        assert captured["max_extra_assignments"] is None
+
+    def test_cap_not_forwarded_when_flag_absent(self, monkeypatch):
+        captured = {"called": False}
+
+        def fake_driver(*args, **kwargs):
+            captured["called"] = True
+            captured.update(kwargs)
+            raise SystemExit(0)
+
+        monkeypatch.setattr("repro.cli.run_straggler_experiment", fake_driver)
+        with pytest.raises(SystemExit):
+            main(["run", "straggler"])
+        assert captured["called"]
+        assert "max_extra_assignments" not in captured
+
+    def test_cap_ignored_with_note_for_unaware_experiment(self, monkeypatch, capsys):
+        def fake_driver(*args, **kwargs):
+            assert "max_extra_assignments" not in kwargs
+            raise SystemExit(0)
+
+        monkeypatch.setattr("repro.cli.run_taxonomy_experiment", fake_driver)
+        with pytest.raises(SystemExit):
+            main(["run", "taxonomy", "--max-extra-assignments", "2"])
+        assert "ignoring" in capsys.readouterr().out
+
+    def test_e2e_cap_round_trip(self, monkeypatch):
+        captured = {}
+
+        def fake_driver(*args, **kwargs):
+            captured.update(kwargs)
+            raise SystemExit(0)
+
+        monkeypatch.setattr("repro.cli.run_end_to_end_experiment", fake_driver)
+        with pytest.raises(SystemExit):
+            main(["run", "e2e", "--max-extra-assignments", "3"])
+        assert captured["max_extra_assignments"] == 3

@@ -155,6 +155,54 @@ class TestMaintenanceIntegration:
         outcome = guard.run_batch(build_batch(5), batch_index=1)
         assert outcome.workers_replaced >= 0
 
+    def test_workers_replaced_is_the_platform_counter_delta(self):
+        """Per-batch replacement counts must sum to the platform counter.
+
+        Regression: the batch loop used to accumulate maintainer events and
+        then ``max()`` with the counter delta, so an eviction that found no
+        ready replacement was reported as a replacement, while a seat made
+        later by ``refill_pool`` was attributed to whichever source was
+        larger — the two batches' outcomes could double- or under-count.
+        """
+        latencies = [3.0, 3.0, 3.0, 60.0, 60.0]
+        platform = build_platform(5, latencies, seed=3)
+        platform.configure_reserve(3)
+        maintainer = PoolMaintainer(MaintenancePolicy(threshold=8.0, min_observations=1))
+        guard = lifeguard_for(platform, mitigation=False, maintainer=maintainer,
+                              pool_target_size=5)
+        outcomes = [
+            guard.run_batch(build_batch(5), batch_index=index) for index in range(3)
+        ]
+        assert sum(o.workers_replaced for o in outcomes) == (
+            platform.counters.workers_replaced
+        )
+
+    def test_abandonment_replacements_counted_exactly_once(self):
+        """A seat made by ``refill_pool`` after abandonment is one replacement.
+
+        Regression: ``refill_pool`` never incremented ``workers_replaced``,
+        so abandonment-driven replacements were invisible to the batch
+        outcome (the maintainer saw no eviction, the counter saw no
+        replacement).
+        """
+        population = WorkerPopulation(
+            profiles=[
+                WorkerProfile(worker_id=i, mean_latency=5.0, latency_std=0.5,
+                              accuracy=0.95)
+                for i in range(30)
+            ],
+            seed=7,
+        )
+        platform = SimulatedCrowdPlatform(population, seed=7, abandonment_rate=0.25)
+        platform.initialize_pool(4)
+        platform.configure_reserve(4)
+        guard = lifeguard_for(platform, mitigation=True, pool_target_size=4)
+        # Long enough for background recruits to arrive and be seated.
+        outcome = guard.run_batch(build_batch(80), batch_index=0)
+        assert platform.counters.workers_abandoned > 0
+        assert outcome.workers_replaced == platform.counters.workers_replaced
+        assert outcome.workers_replaced > 0
+
 
 class TestOutcomeDetails:
     def test_assignment_records_cover_all_resolved_assignments(self):

@@ -122,3 +122,11 @@ class TestRatios:
     def test_speedup_factor_invalid(self):
         with pytest.raises(ValueError):
             speedup_factor(10.0, 0.0)
+
+    def test_speedup_factor_rejects_zero_baseline(self):
+        # Used to slip through the `< 0` check and return a nonsensical 0x
+        # speedup despite the "must be positive" error message.
+        with pytest.raises(ValueError):
+            speedup_factor(0.0, 10.0)
+        with pytest.raises(ValueError):
+            speedup_factor(-1.0, 10.0)

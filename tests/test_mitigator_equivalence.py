@@ -119,10 +119,85 @@ class TestPropertySweep:
 
     @pytest.mark.parametrize("max_extra", [0, 1, 3])
     def test_duplicate_caps(self, max_extra):
-        """The cap forces the per-candidate filtered (medium) index path."""
+        """Capped RANDOM routing without QC rides the duplicable fast path."""
         _assert_equivalent(
             _labeling_config(pool_size=9, seed=2),
             max_extra_assignments=max_extra,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    @pytest.mark.parametrize("max_extra", [0, 1, 2])
+    def test_duplicate_caps_from_config(self, seed, max_extra):
+        """The cap plumbed through CLAMShellConfig, not set on the mitigator."""
+        _assert_equivalent(
+            _labeling_config(
+                pool_size=9, max_extra_assignments=max_extra, seed=seed
+            )
+        )
+
+    @pytest.mark.parametrize("votes_required", [2, 3])
+    @pytest.mark.parametrize("max_extra", [0, 1])
+    def test_duplicate_caps_with_quality_control(self, votes_required, max_extra):
+        """Capped + redundant: the involvement filter forces the medium path."""
+        _assert_equivalent(
+            _labeling_config(
+                pool_size=8,
+                votes_required=votes_required,
+                max_extra_assignments=max_extra,
+                seed=1,
+            ),
+            num_records=40,
+        )
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            StragglerRoutingPolicy.LONGEST_RUNNING,
+            StragglerRoutingPolicy.FEWEST_ACTIVE,
+            StragglerRoutingPolicy.ORACLE_SLOWEST,
+        ],
+    )
+    @pytest.mark.parametrize("max_extra", [1, 2])
+    def test_duplicate_caps_with_non_random_routing(self, policy, max_extra):
+        _assert_equivalent(
+            _labeling_config(
+                pool_size=9,
+                straggler_routing=policy,
+                max_extra_assignments=max_extra,
+                seed=1,
+            )
+        )
+
+    def test_duplicate_cap_with_maintenance_and_abandonment(self):
+        """Evictions/abandonment churn active counts under a cap — the
+        duplicable Fenwick layer must track the platform-side terminations."""
+        _assert_equivalent(
+            _labeling_config(
+                pool_size=10,
+                maintenance_threshold=8.0,
+                abandonment_rate=0.05,
+                max_extra_assignments=1,
+                seed=2,
+            )
+        )
+
+    def test_duplicate_cap_with_decoupling_disabled(self):
+        _assert_equivalent(
+            _labeling_config(
+                pool_size=8,
+                votes_required=2,
+                decouple_quality_control=False,
+                max_extra_assignments=1,
+                seed=1,
+            ),
+            num_records=40,
+        )
+
+    def test_mitigator_override_wins_over_config_cap(self):
+        """Setting the cap directly on the mitigator overrides the config's."""
+        _assert_equivalent(
+            _labeling_config(pool_size=9, max_extra_assignments=3, seed=2),
+            max_extra_assignments=1,
         )
 
     @pytest.mark.parametrize(
@@ -238,6 +313,91 @@ class TestIndexUnit:
         revived = self._assign(tasks[1], worker_id=4, assignment_id=10)
         index.assignment_started(tasks[1], revived)
         assert index.first_starved() is tasks[2]
+
+    def test_duplicable_layer_tracks_cap_crossings(self):
+        """Tasks drop out of the duplicable set when active − 1 reaches the
+        cap, and re-enter when a termination brings them back under it."""
+        tasks = [self._task(i) for i in range(3)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        index = ActiveTaskIndex(batch, max_extra_assignments=1)
+        assignments = []
+        for i, task in enumerate(tasks):
+            assignment = self._assign(task, worker_id=i, assignment_id=i)
+            index.assignment_started(task, assignment)
+            assignments.append(assignment)
+        # One active assignment each: all under the cap (0 extras < 1).
+        assert index.duplicable_count == 3
+        assert index.kth_duplicable_task(0) is tasks[0]
+        assert index.kth_duplicable_task(2) is tasks[2]
+
+        # A duplicate on task 1 saturates its cap (1 extra == cap).
+        dup = self._assign(tasks[1], worker_id=5, assignment_id=10)
+        index.assignment_started(tasks[1], dup)
+        assert index.duplicable_count == 2
+        assert index.kth_duplicable_task(0) is tasks[0]
+        assert index.kth_duplicable_task(1) is tasks[2]
+
+        # Terminating the duplicate brings task 1 back under the cap.
+        dup.terminate(at=2.0)
+        index.assignment_terminated(tasks[1], dup)
+        assert index.duplicable_count == 3
+        assert index.kth_duplicable_task(1) is tasks[1]
+
+    def test_duplicable_layer_removes_completed_tasks(self):
+        tasks = [self._task(i) for i in range(2)]
+        batch = Batch(batch_id=0, tasks=tasks)
+        index = ActiveTaskIndex(batch, max_extra_assignments=2)
+        for i, task in enumerate(tasks):
+            index.assignment_started(
+                task, self._assign(task, worker_id=i, assignment_id=i)
+            )
+        assert index.duplicable_count == 2
+
+        a0 = tasks[0].assignments[0]
+        a0.complete(at=5.0, labels=[0])
+        index.assignment_completed(tasks[0], a0)
+        tasks[0].record_answer(worker_id=0, labels=[0], at=5.0)
+        index.task_completed(tasks[0])
+        assert index.duplicable_count == 1
+        assert index.kth_duplicable_task(0) is tasks[1]
+        with pytest.raises(IndexError):
+            index.kth_duplicable_task(1)
+
+    def test_duplicable_layer_cap_zero_counts_only_starved(self):
+        """With cap 0 a task with any active work is never duplicable; a
+        starved one (0 active) still is, but dispatch returns starved tasks
+        before ever drawing, so the draw population matches the scan."""
+        task = self._task(0)
+        batch = Batch(batch_id=0, tasks=[task])
+        index = ActiveTaskIndex(batch, max_extra_assignments=0)
+        a0 = self._assign(task, worker_id=1, assignment_id=0)
+        index.assignment_started(task, a0)
+        assert index.duplicable_count == 0
+        a0.terminate(at=1.0)
+        index.assignment_terminated(task, a0)
+        assert index.duplicable_count == 1
+        assert index.first_starved() is task
+
+    def test_uncapped_index_does_not_maintain_duplicable_layer(self):
+        task = self._task(0)
+        index = ActiveTaskIndex(Batch(batch_id=0, tasks=[task]))
+        index.assignment_started(
+            task, self._assign(task, worker_id=1, assignment_id=0)
+        )
+        assert index.duplicable_count == 0
+        with pytest.raises(RuntimeError):
+            index.kth_duplicable_task(0)
+
+    def test_quality_controlled_batch_skips_duplicable_layer(self):
+        """QC batches take the medium path, so the second Fenwick is off."""
+        task = self._task(0, votes_required=2)
+        index = ActiveTaskIndex(
+            Batch(batch_id=0, tasks=[task]), max_extra_assignments=1
+        )
+        index.assignment_started(
+            task, self._assign(task, worker_id=1, assignment_id=0)
+        )
+        assert index.duplicable_count == 0
 
     def test_involvement_only_tracked_under_quality_control(self):
         plain = ActiveTaskIndex(Batch(batch_id=0, tasks=[self._task(0)]))
