@@ -23,6 +23,7 @@ determinism contract), and serialises a machine-readable result:
       "labels": 7000,
       "labels_per_second": 3684.2,
       "cost": {"total_dollars": 312.4, "records_labeled_paid": 9100, ...},
+      "dispatch": {"probes_attempted": 21000, "probes_futile": 96},
       "details": {...}
     }
 
@@ -109,8 +110,21 @@ class BenchmarkResult:
     def to_dict(self) -> dict[str, Any]:
         """The stable JSON document (see module docstring)."""
         cost = {"total_dollars": round(self.outcome.cost, 6)}
+        counters = self.outcome.counters
+        # Dispatch-probe counters are diagnostics, not monetary quantities:
+        # they get their own section so the strict comparator's cost check
+        # keeps meaning "same simulated behaviour" while gate-on/gate-off
+        # documents remain comparable (probe volume is exactly what the
+        # placeability gate is supposed to change).
+        dispatch = {
+            key: counters[key] for key in sorted(counters) if key.startswith("probes_")
+        }
         cost.update(
-            {key: self.outcome.counters[key] for key in sorted(self.outcome.counters)}
+            {
+                key: counters[key]
+                for key in sorted(counters)
+                if not key.startswith("probes_")
+            }
         )
         return {
             "schema_version": self.schema_version,
@@ -133,6 +147,7 @@ class BenchmarkResult:
             "labels": self.outcome.labels,
             "labels_per_second": round(self.labels_per_second, 3),
             "cost": cost,
+            "dispatch": dispatch,
             "details": _jsonable(self.outcome.details),
         }
 
@@ -149,6 +164,9 @@ class BenchmarkResult:
             f"({self.labels_per_second:,.0f}/s)",
             f"sim/real ratio:    {self.sim_real_ratio:,.0f}x",
             f"total cost:        ${self.outcome.cost:,.2f}",
+            "dispatch probes:   "
+            f"{self.outcome.counters.get('probes_attempted', 0):,.0f} attempted, "
+            f"{self.outcome.counters.get('probes_futile', 0):,.0f} futile",
         ]
 
 

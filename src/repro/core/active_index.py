@@ -124,8 +124,9 @@ class ActiveTaskIndex:
         #: Quality control decouples "answered" from "complete": only then
         #: can an *available* worker still be involved in an active task, so
         #: only then is the involvement filter non-vacuous and worth the
-        #: bookkeeping.
-        self.quality_controlled = any(task.votes_required > 1 for task in tasks)
+        #: bookkeeping.  (Read off the batch's cached flag so the index and
+        #: the scan-path placeability gate branch on the identical value.)
+        self.quality_controlled = batch.quality_controlled
         self._involvement: dict[int, set[int]] = {}
         #: Duplicate cap this index maintains its duplicable layer for
         #: (``None`` = uncapped, no second Fenwick).
@@ -209,6 +210,50 @@ class ActiveTaskIndex:
                 f"k={k} out of range for {self._dup_count} duplicable tasks"
             )
         return self.batch.tasks[self._dup_fenwick.kth(k)]
+
+    def placeable_count(
+        self,
+        enabled: bool = True,
+        max_extra_assignments: Optional[int] = None,
+    ) -> int:
+        """O(1) summary of the tasks a dispatch probe could still place.
+
+        Sums the placement opportunities the mitigator's priority order can
+        serve — an unassigned task, a starved task, and (when mitigation is
+        ``enabled``) the duplicable live set (all live tasks when uncapped,
+        the duplicable Fenwick layer's count under a cap).  ``enabled`` and
+        ``max_extra_assignments`` are the *mitigator's* current settings;
+        the routing policy is irrelevant because every policy routes over
+        the same candidate list — only the choice within it differs.
+
+        Zero is exact and worker-independent: when this returns 0, a probe
+        for *any* available worker provably returns ``None`` without
+        consuming the RNG stream, which is what lets the LifeGuard's
+        event-level gate skip the probe loop wholesale.  Positive values are
+        an upper bound (per-worker involvement under quality control, and
+        starved tasks also being duplicable, can make the true number of
+        servable probes smaller), so callers must only trust the zero test.
+        """
+        count = 1 if self.batch.first_unassigned_task() is not None else 0
+        live = self._live
+        if live == 0:
+            return count
+        if self.quality_controlled:
+            # Involvement makes placeability worker-dependent; any live task
+            # may still be starved, under-provisioned, or duplicable for
+            # somebody, so only the empty live set is provably futile.
+            return count + live
+        if self.first_starved() is not None:
+            count += 1
+        if not enabled:
+            return count
+        if max_extra_assignments is None:
+            return count + live
+        if max_extra_assignments == self.max_extra_assignments:
+            return count + self._dup_count
+        # The cap changed after the index was built (no maintained Fenwick
+        # layer for it): stay conservative rather than ever claiming zero.
+        return count + live
 
     def involved_tasks(self, worker_id: int) -> frozenset[int]:
         """Task ids the worker holds an active assignment on or has answered.

@@ -20,6 +20,75 @@ from .mitigator import StragglerMitigator
 from .quality import majority_vote
 
 
+class DispatchGate:
+    """Event-level placeability gate for the dispatch probe loop.
+
+    The LifeGuard probes ``mitigator.pick_task`` once per available worker
+    after every simulation event.  Once mitigation saturates — every task
+    assigned, nothing starved, every duplicate cap reached — all of those
+    probes provably return ``None`` until some lifecycle event changes
+    placeability, yet the ungated loop kept paying for them (1.36M probes
+    for 8k events at the 1000-worker capped tier, ~85% of tier wall time).
+
+    The gate remembers the proof: it *closes* when the LifeGuard shows no
+    probe can place work (``placeable_count`` is zero, or — for batches
+    without quality control, where placeability is worker-independent — a
+    probe just returned ``None``), and *re-arms* on exactly the callbacks
+    that can create placeable work:
+
+    * an assignment completing or being terminated (active counts drop, so
+      a task may become starved or fall back under its duplicate cap) —
+      delivered through the platform's assignment-observer hooks, which
+      also cover platform-internal terminations (maintenance evictions,
+      abandonment-driven churn) the LifeGuard never sees directly;
+    * an assignment starting (a fresh duplication target appears);
+    * consensus completing a task (its losing replicas are about to be
+      terminated) — via :meth:`task_completed`;
+    * the pool being refilled (a previously unservable batch may now have
+      takers) — via :meth:`pool_refilled`.
+
+    Skipping a closed gate is RNG-stream-invisible: futile probes never
+    draw from the mitigator's RNG, so the gated run's labels and cost
+    counters are bit-identical to the ungated run's (held by the gate
+    on/off cells in ``tests/equivalence.py``).
+    """
+
+    __slots__ = ("armed",)
+
+    def __init__(self) -> None:
+        #: Armed means dispatch must probe; closed means every probe is
+        #: provably futile until a re-arming callback fires.
+        self.armed = True
+
+    def close(self) -> None:
+        self.armed = False
+
+    def rearm(self) -> None:
+        self.armed = True
+
+    # -- platform assignment observer hooks ---------------------------------
+
+    def assignment_started(self, task, assignment) -> None:
+        self.armed = True
+
+    def assignment_completed(self, task, assignment) -> None:
+        self.armed = True
+
+    def assignment_terminated(self, task, assignment) -> None:
+        self.armed = True
+
+    # -- LifeGuard notifications --------------------------------------------
+
+    def task_completed(self, task) -> None:
+        """Consensus reached: losing replicas will free workers and tasks."""
+        self.armed = True
+
+    def pool_refilled(self, workers_added: int) -> None:
+        """Workers were seated; re-arm only if the pool actually grew."""
+        if workers_added > 0:
+            self.armed = True
+
+
 @dataclass(frozen=True)
 class AssignmentRecord:
     """Flattened view of one assignment, for the Figure-13 timeline."""
@@ -71,19 +140,26 @@ class LifeGuard:
         maintainer: Optional[PoolMaintainer] = None,
         maintain_during_batch: bool = True,
         pool_target_size: Optional[int] = None,
+        use_dispatch_gate: bool = True,
     ) -> None:
         """Create a LifeGuard.
 
         ``maintain_during_batch`` matches the paper's "asynchronously as
         labeling proceeds" behaviour; when false, maintenance only runs
         between batches.  ``pool_target_size`` is used to refill the pool
-        after abandonment.
+        after abandonment.  ``use_dispatch_gate`` enables the event-level
+        :class:`DispatchGate` over the probe loop (disabled only by the
+        equivalence tests and the gate-off benchmark baselines; requires a
+        backend with assignment-observer support, and silently degrades to
+        ungated probing otherwise).
         """
         self.platform = platform
         self.mitigator = mitigator
         self.maintainer = maintainer
         self.maintain_during_batch = maintain_during_batch
         self.pool_target_size = pool_target_size
+        self.use_dispatch_gate = use_dispatch_gate
+        self._gate: Optional[DispatchGate] = None
 
     # -- public API -----------------------------------------------------------
 
@@ -97,13 +173,24 @@ class LifeGuard:
         # Backends predating the observer hooks can't feed the index, so
         # they keep the brute-force scan path instead of crashing.
         index = None
+        gate = None
         if hasattr(self.platform, "add_assignment_observer"):
             index = self.mitigator.begin_batch(batch)
+            if self.use_dispatch_gate:
+                # The gate needs the same exact lifecycle stream the index
+                # does (platform-internal terminations included), so it is
+                # only safe on observer-capable backends.
+                gate = DispatchGate()
+                self.platform.add_assignment_observer(gate)
         if index is not None:
             self.platform.add_assignment_observer(index)
+        self._gate = gate
         try:
             return self._run_batch_inner(batch, batch_index)
         finally:
+            self._gate = None
+            if gate is not None:
+                self.platform.remove_assignment_observer(gate)
             if index is not None:
                 self.platform.remove_assignment_observer(index)
             self.mitigator.end_batch()
@@ -166,13 +253,17 @@ class LifeGuard:
                 if not was_complete:
                     tasks_remaining -= 1
                     self.mitigator.note_task_complete(task)
+                    if self._gate is not None:
+                        self._gate.task_completed(task)
                 self._terminate_losing_assignments(task, assignment.duration)
                 outcome.completion_times.append((platform.now, task.num_records))
                 consensus_by_task[task.task_id] = self._aggregate_task_labels(task)
             if self.maintainer is not None and self.maintain_during_batch:
                 self.maintainer.maintain(platform, batch_index=batch_index)
             if self.pool_target_size is not None:
-                platform.refill_pool(self.pool_target_size)
+                added = platform.refill_pool(self.pool_target_size)
+                if self._gate is not None:
+                    self._gate.pool_refilled(added)
             self._dispatch_available_workers(batch)
 
         batch.completed_at = platform.now
@@ -222,19 +313,50 @@ class LifeGuard:
     # -- internals ---------------------------------------------------------------
 
     def _dispatch_available_workers(self, batch: Batch) -> None:
-        """Give every available worker a task, per the mitigation policy."""
+        """Give every available worker a task, per the mitigation policy.
+
+        With the :class:`DispatchGate` active, the probe loop runs only when
+        something is provably placeable: a closed gate skips the sweep
+        outright, an armed gate first checks ``placeable_count`` (O(1) on
+        the indexed path) and closes without probing when it is zero, and —
+        for batches without quality control, where a probe's outcome is
+        worker-independent — the first ``None`` probe closes the gate and
+        ends the sweep, because every remaining probe must also return
+        ``None``.  Skipped probes never touched the RNG, so the gated and
+        ungated runs are bit-identical in labels and cost counters.
+        """
+        platform = self.platform
+        counters = platform.counters
+        mitigator = self.mitigator
+        gate = self._gate
+        quality_controlled = batch.quality_controlled
         while True:
-            available = self.platform.pool.available_workers()
+            available = platform.pool.available_workers()
             if not available:
                 return
+            if gate is not None:
+                if not gate.armed:
+                    return
+                if mitigator.placeable_count(batch) == 0:
+                    gate.close()
+                    return
             assigned_any = False
             for slot in available:
-                task = self.mitigator.pick_task(
-                    batch, slot.worker_id, self.platform.pool, self.platform.now
+                counters.probes_attempted += 1
+                task = mitigator.pick_task(
+                    batch, slot.worker_id, platform.pool, platform.now
                 )
                 if task is None:
+                    counters.probes_futile += 1
+                    if gate is not None and not quality_controlled:
+                        # Worker-independent regime: this probe's failure
+                        # proves the rest of the sweep futile.  (Under
+                        # quality control the per-worker involvement filter
+                        # means another worker may still be servable.)
+                        gate.close()
+                        break
                     continue
-                self.platform.start_assignment(task, slot.worker_id)
+                platform.start_assignment(task, slot.worker_id)
                 assigned_any = True
             if not assigned_any:
                 return
@@ -257,6 +379,10 @@ class LifeGuard:
         assignment was started.
         """
         platform = self.platform
+        if self._gate is not None:
+            # Cold path: force a full probe sweep so the stall diagnosis
+            # below never blames a closed gate for an undispatchable batch.
+            self._gate.rearm()
         if self.pool_target_size is not None:
             platform.refill_pool(self.pool_target_size)
         before = platform.counters.assignments_started
@@ -271,11 +397,15 @@ class LifeGuard:
             return False
         platform.queue.advance_to(max(platform.now, next_ready))
         if self.pool_target_size is not None:
-            platform.refill_pool(self.pool_target_size)
+            added = platform.refill_pool(self.pool_target_size)
         else:
             # No target: grow past the current size to break the stall.
             # That seat replaces nobody, so it must not count as one.
-            platform.refill_pool(len(platform.pool) + 1, as_replacements=False)
+            added = platform.refill_pool(
+                len(platform.pool) + 1, as_replacements=False
+            )
+        if self._gate is not None:
+            self._gate.pool_refilled(added)
         self._dispatch_available_workers(batch)
         return platform.counters.assignments_started > before
 

@@ -128,6 +128,63 @@ class StragglerMitigator:
         extra = task.num_active_assignments - outstanding
         return extra < self.max_extra_assignments
 
+    # -- placeability (the LifeGuard's event-level dispatch gate) ------------------
+
+    def placeable_count(self, batch: Batch) -> int:
+        """Upper bound on the placement opportunities the next probe could serve.
+
+        Served from the incremental index in O(1) when the batch is primed
+        (:meth:`ActiveTaskIndex.placeable_count`), otherwise by the
+        brute-force twin :meth:`placeable_count_scan`.  The contract the
+        LifeGuard's dispatch gate relies on: **zero is exact and
+        worker-independent** — ``pick_task`` would return ``None`` for every
+        available worker, drawing nothing from the RNG stream, so the probe
+        loop can be skipped without changing behaviour.  Positive values are
+        only an upper bound and must not be used to ration probes directly.
+        """
+        index = self._index
+        if index is not None and index.batch is batch:
+            return index.placeable_count(
+                enabled=self.enabled,
+                max_extra_assignments=self.max_extra_assignments,
+            )
+        return self.placeable_count_scan(batch)
+
+    def placeable_count_scan(self, batch: Batch) -> int:
+        """Brute-force twin of :meth:`ActiveTaskIndex.placeable_count`.
+
+        O(live tasks); used when no index is primed (oracle dispatch,
+        hand-built states).  Deliberately mirrors — rather than shares — the
+        indexed computation so the oracle run's gate decisions stay an
+        independent check, and kept zero-equivalent to it: both return 0 on
+        exactly the same batch states, which the gate-on/gate-off cells of
+        ``tests/equivalence.py`` hold across the property sweep.
+        """
+        count = 1 if batch.first_unassigned_task() is not None else 0
+        quality_controlled = batch.quality_controlled
+        live = 0
+        starved = 0
+        duplicable = 0
+        capped = self.max_extra_assignments is not None
+        for task in batch.incomplete_tasks_view():
+            if task.state is not TaskState.ACTIVE:
+                continue
+            live += 1
+            if quality_controlled:
+                continue
+            if not task.has_active_assignment:
+                starved += 1
+            elif self.enabled and (not capped or self._duplicate_allowed(task)):
+                duplicable += 1
+        if live == 0:
+            return count
+        if quality_controlled:
+            return count + live
+        count += starved
+        if not self.enabled:
+            return count
+        return count + duplicable
+
     # -- selection -----------------------------------------------------------------
 
     def pick_task(

@@ -54,7 +54,16 @@ class AssignmentObserver(Protocol):
 
 @dataclass
 class PlatformCounters:
-    """Raw quantities the cost model is computed from."""
+    """Raw quantities the cost model is computed from.
+
+    The ``probes_*`` pair is diagnostic, not monetary: the LifeGuard counts
+    every ``pick_task`` dispatch probe it issues (``probes_attempted``) and
+    every probe that found nothing placeable (``probes_futile``).  The
+    invariant ``probes_attempted == assignments_started + probes_futile``
+    always holds, and the benchmark schema surfaces the pair under its own
+    ``dispatch`` section so the event-level placeability gate's effect is a
+    first-class metric instead of being inferred from wall time.
+    """
 
     assignments_started: int = 0
     assignments_completed: int = 0
@@ -64,6 +73,8 @@ class PlatformCounters:
     workers_replaced: int = 0
     workers_abandoned: int = 0
     recruitment_seconds_total: float = 0.0
+    probes_attempted: int = 0
+    probes_futile: int = 0
 
 
 class SimulatedCrowdPlatform:

@@ -214,6 +214,10 @@ class Batch:
     _live_tasks: Optional[list[Task]] = field(
         default=None, init=False, repr=False, compare=False
     )
+    #: Lazily-computed cache for :attr:`quality_controlled`.
+    _quality_controlled: Optional[bool] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.tasks:
@@ -236,6 +240,20 @@ class Batch:
     @property
     def is_complete(self) -> bool:
         return all(task.is_complete for task in self.tasks)
+
+    @property
+    def quality_controlled(self) -> bool:
+        """True when any task in the batch requires more than one vote.
+
+        Cached after the first read: ``votes_required`` is fixed at task
+        construction, and both the active-task index and the dispatch
+        placeability gate branch on this per probe.
+        """
+        cached = self._quality_controlled
+        if cached is None:
+            cached = any(task.votes_required > 1 for task in self.tasks)
+            self._quality_controlled = cached
+        return cached
 
     @property
     def incomplete_tasks(self) -> list[Task]:

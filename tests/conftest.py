@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and marker registration for the test suite."""
 
 from __future__ import annotations
 
@@ -8,6 +8,14 @@ import pytest
 from repro.crowd.platform import SimulatedCrowdPlatform
 from repro.crowd.worker import PopulationParameters, WorkerPopulation, WorkerProfile
 from repro.learning.datasets import make_classification
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "equivalence: oracle-vs-fast-path RNG-stream equivalence sweep "
+        "(run standalone with `pytest -m equivalence`)",
+    )
 
 
 @pytest.fixture

@@ -1,0 +1,164 @@
+"""Reusable RNG-stream equivalence harness: oracle vs fast-path runs.
+
+The simulator's optimisations all carry the same contract: they must change
+*how fast* a run executes, never *what* it simulates.  Concretely, for any
+seed, pool size, and batch configuration, every execution variant — the
+incremental active-task index vs the brute-force candidate scan, the
+event-level dispatch gate on vs off — must produce bit-identical labels,
+platform cost counters, simulation clocks, and dollar costs: same RNG
+stream, same assignment-by-assignment schedule.
+
+This module factors the sweep machinery out of
+``tests/test_mitigator_equivalence.py`` so future PRs can reuse it: build a
+config with :func:`labeling_config`, describe the execution variants to pit
+against each other as :class:`Variant` rows, and call
+:func:`assert_equivalent`.  Each variant runs the full engine path
+(``JobSpec`` -> ``build_run`` -> ``run_iter``) and is fingerprinted by
+:func:`run_fingerprint`; the assertion helper compares every behavioural
+field across variants and additionally holds the dispatch-probe counters
+equal across variants that share a gate setting (the indexed and scan paths
+must make identical gate decisions).
+
+Probe counters are compared separately from the behavioural fingerprint
+because the dispatch gate changes probe volume *by design*: a gate-on run
+skips provably-futile probes that a gate-off run still pays for.  What the
+gate must never change is everything else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Sequence
+
+from repro.api.engine import JobSpec, build_run
+from repro.api.events import drain_stream
+from repro.core.config import CLAMShellConfig, LearningStrategy
+from repro.experiments.common import make_labeling_workload, mixed_speed_population
+
+
+def labeling_config(**overrides: Any) -> CLAMShellConfig:
+    """A labeling-only config (no learner) with mitigation on by default."""
+    base = dict(
+        straggler_mitigation=True,
+        maintenance_threshold=None,
+        learning_strategy=LearningStrategy.NONE,
+    )
+    base.update(overrides)
+    return CLAMShellConfig(**base)
+
+
+@dataclasses.dataclass(frozen=True)
+class Variant:
+    """One execution variant of the same (config, seed, records) run."""
+
+    name: str
+    #: Serve dispatch from the incremental ActiveTaskIndex (fast path) or
+    #: from the brute-force ``pick_task_scan`` (the reference oracle).
+    use_index: bool = True
+    #: Enable the LifeGuard's event-level dispatch placeability gate.
+    use_dispatch_gate: bool = True
+
+
+#: The default 2x2 grid: {indexed, scan-oracle} x {gate on, gate off}.
+#: Every sweep cell built on this grid simultaneously proves the index
+#: against the scan *and* the gate against ungated probing.
+DEFAULT_VARIANTS: tuple[Variant, ...] = (
+    Variant("indexed+gate", use_index=True, use_dispatch_gate=True),
+    Variant("oracle+gate", use_index=False, use_dispatch_gate=True),
+    Variant("indexed-ungated", use_index=True, use_dispatch_gate=False),
+    Variant("oracle-ungated", use_index=False, use_dispatch_gate=False),
+)
+
+
+def run_fingerprint(
+    config: CLAMShellConfig,
+    num_records: int,
+    use_index: bool = True,
+    use_dispatch_gate: bool = True,
+    mitigator_overrides: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """One full engine-path run, reduced to everything that must match.
+
+    Returns a dict with the behavioural fields (labels, cost counters,
+    simulation clock, dollars, event and waiting/working totals) plus a
+    separate ``"probes"`` entry holding the dispatch-probe diagnostics,
+    which are only required to match between runs with the same gate
+    setting.
+    """
+    dataset = make_labeling_workload(num_records=2 * num_records, seed=config.seed)
+    spec = JobSpec(
+        dataset=dataset,
+        config=config,
+        population=mixed_speed_population(seed=config.seed),
+        num_records=num_records,
+    )
+    platform, batcher = build_run(spec)
+    batcher.lifeguard.use_dispatch_gate = use_dispatch_gate
+    mitigator = batcher.lifeguard.mitigator
+    mitigator.use_index = use_index
+    for name, value in (mitigator_overrides or {}).items():
+        setattr(mitigator, name, value)
+    result = drain_stream(batcher.run_iter(num_records=num_records))
+    counters = dataclasses.asdict(platform.counters)
+    probes = {
+        key: counters.pop(key) for key in list(counters) if key.startswith("probes_")
+    }
+    return {
+        "labels": result.labels,
+        "counters": counters,
+        "probes": probes,
+        "sim_seconds": platform.now,
+        "total_cost": result.total_cost,
+        "events_processed": platform.queue.events_processed,
+        "waiting_seconds": platform.pool.total_waiting_seconds(),
+        "working_seconds": platform.pool.total_working_seconds(),
+    }
+
+
+def behavioural_view(fingerprint: dict[str, Any]) -> dict[str, Any]:
+    """The gate-independent part of a fingerprint (everything but probes)."""
+    return {key: value for key, value in fingerprint.items() if key != "probes"}
+
+
+def assert_equivalent(
+    config: CLAMShellConfig,
+    num_records: int = 60,
+    variants: Sequence[Variant] = DEFAULT_VARIANTS,
+    **mitigator_overrides: Any,
+) -> dict[str, dict[str, Any]]:
+    """Run every variant of one sweep cell and assert they cannot diverge.
+
+    * Behavioural fields must be bit-identical across *all* variants.
+    * Probe counters must be bit-identical across variants sharing a gate
+      setting (indexed and oracle dispatch must close/skip identically).
+
+    Returns the per-variant fingerprints so callers can make additional
+    cell-specific assertions (e.g. on probe volume).
+    """
+    runs = {
+        variant.name: run_fingerprint(
+            config,
+            num_records,
+            use_index=variant.use_index,
+            use_dispatch_gate=variant.use_dispatch_gate,
+            mitigator_overrides=mitigator_overrides or None,
+        )
+        for variant in variants
+    }
+    names = [variant.name for variant in variants]
+    reference_name = names[0]
+    reference = behavioural_view(runs[reference_name])
+    for name in names[1:]:
+        assert behavioural_view(runs[name]) == reference, (
+            f"variant {name!r} diverged behaviourally from {reference_name!r} "
+            f"for config {config.describe()!r}"
+        )
+    by_gate: dict[bool, str] = {}
+    for variant in variants:
+        first = by_gate.setdefault(variant.use_dispatch_gate, variant.name)
+        assert runs[variant.name]["probes"] == runs[first]["probes"], (
+            f"variant {variant.name!r} made different gate/probe decisions "
+            f"than {first!r} (gate={variant.use_dispatch_gate}) "
+            f"for config {config.describe()!r}"
+        )
+    return runs

@@ -118,6 +118,21 @@ class TestJsonSchema:
         assert loaded["wall_seconds"]["best"] <= loaded["wall_seconds"]["mean"] + 1e-9
         assert loaded["params"]["sweep"] == [[5, 30]]
 
+    def test_dispatch_probe_counters_split_out_of_cost(self, tmp_path):
+        """Probe diagnostics live in their own ``dispatch`` section so the
+        strict comparator's cost check keeps meaning "same behaviour"."""
+        result = run_tiny()
+        path = write_result(result, tmp_path / "BENCH_scale.json")
+        loaded = load_result(path)
+        assert set(loaded["dispatch"]) == {"probes_attempted", "probes_futile"}
+        assert loaded["dispatch"]["probes_attempted"] > 0
+        assert not any(key.startswith("probes_") for key in loaded["cost"])
+        # The probe invariant survives serialisation.
+        assert loaded["dispatch"]["probes_attempted"] == (
+            loaded["cost"]["assignments_started"]
+            + loaded["dispatch"]["probes_futile"]
+        )
+
     def test_write_creates_parent_directories(self, tmp_path):
         result = run_tiny()
         path = write_result(result, tmp_path / "deep" / "dir" / "BENCH_scale.json")
@@ -193,6 +208,24 @@ class TestComparator:
     def test_strict_passes_for_identical_outcomes(self):
         document = self.base_document()
         assert compare_documents(document, dict(document), strict=True).passed
+
+    def test_strict_notes_but_does_not_gate_dispatch_differences(self):
+        """Gate-on vs gate-off documents differ only in probe volume; strict
+        must mention it without failing."""
+        baseline = self.base_document()
+        current = dict(baseline)
+        current["dispatch"] = {
+            key: value * 10 for key, value in baseline["dispatch"].items()
+        }
+        report = compare_documents(baseline, current, strict=True)
+        assert report.passed
+        assert any("dispatch probe counters" in message for message in report.messages)
+
+    def test_strict_tolerates_baselines_predating_dispatch_section(self):
+        baseline = self.base_document()
+        del baseline["dispatch"]
+        report = compare_documents(baseline, self.base_document(), strict=True)
+        assert report.passed
 
     def test_seed_difference_noted_not_failed(self):
         baseline = self.base_document()
@@ -363,11 +396,35 @@ class TestScaleCappedWorkload:
 
     def test_indexed_and_oracle_dispatch_agree(self):
         """use_index=False (the pick_task_scan oracle) must fingerprint
-        identically to the indexed capped run."""
+        identically to the indexed capped run — probe counters included,
+        because both paths must make the same gate decisions."""
         spec = get_workload("scale_capped")
         indexed = spec.execute(seed=3, **self.TINY)
         oracle = spec.execute(seed=3, use_index=False, **self.TINY)
         assert indexed.fingerprint() == oracle.fingerprint()
+
+    def test_gate_off_changes_probe_volume_only(self):
+        """use_dispatch_gate=False restores exhaustive per-event probing:
+        more probes attempted, identical simulated behaviour."""
+        spec = get_workload("scale_capped")
+        gated = spec.execute(seed=3, **self.TINY)
+        ungated = spec.execute(seed=3, use_dispatch_gate=False, **self.TINY)
+
+        def behavioural(outcome):
+            fingerprint = outcome.fingerprint()
+            fingerprint["counters"] = {
+                key: value
+                for key, value in fingerprint["counters"].items()
+                if not key.startswith("probes_")
+            }
+            return fingerprint
+
+        assert behavioural(gated) == behavioural(ungated)
+        assert (
+            gated.counters["probes_attempted"]
+            < ungated.counters["probes_attempted"]
+        )
+        assert gated.counters["probes_futile"] < ungated.counters["probes_futile"]
 
     def test_cli_accepts_capped_workload(self, tmp_path, capsys):
         json_path = tmp_path / "BENCH_scale_capped.json"

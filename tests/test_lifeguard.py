@@ -1,9 +1,11 @@
 """Unit tests for the LifeGuard per-batch scheduler."""
 
+import dataclasses
+
 import pytest
 
 from repro.core.config import StragglerRoutingPolicy
-from repro.core.lifeguard import LifeGuard
+from repro.core.lifeguard import DispatchGate, LifeGuard
 from repro.core.maintainer import MaintenancePolicy, PoolMaintainer
 from repro.core.mitigator import StragglerMitigator
 from repro.crowd.platform import SimulatedCrowdPlatform
@@ -202,6 +204,201 @@ class TestMaintenanceIntegration:
         assert platform.counters.workers_abandoned > 0
         assert outcome.workers_replaced == platform.counters.workers_replaced
         assert outcome.workers_replaced > 0
+
+
+class TestDispatchGateUnit:
+    """Re-arm semantics of the gate itself: every mutating callback must
+    re-open a closed gate, and nothing else may."""
+
+    def test_starts_armed(self):
+        assert DispatchGate().armed
+
+    def test_close_and_rearm(self):
+        gate = DispatchGate()
+        gate.close()
+        assert not gate.armed
+        gate.rearm()
+        assert gate.armed
+
+    @pytest.mark.parametrize(
+        "callback",
+        ["assignment_started", "assignment_completed", "assignment_terminated"],
+    )
+    def test_assignment_observer_callbacks_rearm(self, callback):
+        gate = DispatchGate()
+        gate.close()
+        getattr(gate, callback)(task=None, assignment=None)
+        assert gate.armed
+
+    def test_consensus_completion_rearms(self):
+        gate = DispatchGate()
+        gate.close()
+        gate.task_completed(task=None)
+        assert gate.armed
+
+    def test_pool_refill_rearms_only_when_workers_were_seated(self):
+        gate = DispatchGate()
+        gate.close()
+        gate.pool_refilled(0)
+        assert not gate.armed
+        gate.pool_refilled(2)
+        assert gate.armed
+
+    def test_stays_closed_without_callbacks(self):
+        gate = DispatchGate()
+        gate.close()
+        assert not gate.armed
+        assert not gate.armed  # reading must not re-arm
+
+
+def outcome_fingerprint(platform, outcome):
+    """Everything a gate setting must not change about a batch run."""
+    counters = dataclasses.asdict(platform.counters)
+    counters.pop("probes_attempted")
+    counters.pop("probes_futile")
+    return {
+        "labels": outcome.labels,
+        "completed_at": outcome.completed_at,
+        "completion_times": outcome.completion_times,
+        "counters": counters,
+        "sim_seconds": platform.now,
+    }
+
+
+class TestDispatchGateIntegration:
+    """The gate wired into real batch runs against the simulated platform."""
+
+    def test_probe_counter_invariant(self):
+        """Every probe either places an assignment or is futile."""
+        for use_gate in (True, False):
+            platform = build_platform(6, seed=4)
+            guard = lifeguard_for(platform, use_dispatch_gate=use_gate)
+            guard.mitigator.max_extra_assignments = 1
+            guard.run_batch(build_batch(4))
+            counters = platform.counters
+            assert counters.probes_attempted == (
+                counters.assignments_started + counters.probes_futile
+            )
+
+    def test_gate_skips_futile_probes_without_changing_the_run(self):
+        """A saturated cap with surplus workers: the gated run must probe
+        far less and simulate exactly the same batch."""
+        runs = {}
+        for use_gate in (True, False):
+            platform = build_platform(8, seed=5)
+            guard = lifeguard_for(platform, use_dispatch_gate=use_gate)
+            guard.mitigator.max_extra_assignments = 0
+            outcome = guard.run_batch(build_batch(4))
+            runs[use_gate] = (
+                outcome_fingerprint(platform, outcome),
+                platform.counters.probes_attempted,
+                platform.counters.probes_futile,
+            )
+        gated, ungated = runs[True], runs[False]
+        assert gated[0] == ungated[0]
+        assert gated[1] < ungated[1]
+        assert gated[2] < ungated[2]
+
+    def test_gate_with_legacy_scan_path_and_non_monotonic_pool(self):
+        """Hand-built pool seated out of id order: availability falls back
+        to the legacy dict scan and dispatch to ``pick_task_scan``; the
+        scan-path gate must still be behaviour-invisible."""
+
+        def run(use_gate):
+            profiles = [
+                WorkerProfile(
+                    worker_id=wid, mean_latency=4.0 + wid, latency_std=0.5,
+                    accuracy=0.95,
+                )
+                for wid in (5, 1, 7, 3)
+            ]
+            population = WorkerPopulation(profiles=profiles, seed=0)
+            platform = SimulatedCrowdPlatform(population, seed=0)
+            for profile in profiles:
+                platform.pool.add_worker(profile, now=0.0)
+            assert not platform.pool._ids_monotonic
+            guard = lifeguard_for(platform, use_dispatch_gate=use_gate)
+            guard.mitigator.use_index = False
+            guard.mitigator.max_extra_assignments = 1
+            outcome = guard.run_batch(build_batch(6))
+            return outcome_fingerprint(platform, outcome)
+
+        assert run(True) == run(False)
+
+    @pytest.mark.parametrize("use_gate", [True, False])
+    def test_loser_freed_at_completion_is_reassigned_in_the_same_event(
+        self, use_gate
+    ):
+        """Pin: a worker freed *during* an event's processing (their replica
+        lost and ``termination_overhead_seconds`` is zero) is picked up by
+        that same event's dispatch sweep, at the same timestamp — the gate
+        must re-arm on the termination rather than defer the worker to the
+        next event.  Identical with and without the gate."""
+        profiles = [
+            WorkerProfile(worker_id=0, mean_latency=3.0, latency_std=0.5,
+                          accuracy=0.95),
+            WorkerProfile(worker_id=1, mean_latency=300.0, latency_std=0.5,
+                          accuracy=0.95),
+            WorkerProfile(worker_id=2, mean_latency=200.0, latency_std=0.5,
+                          accuracy=0.95),
+        ]
+        population = WorkerPopulation(profiles=profiles, seed=0)
+        platform = SimulatedCrowdPlatform(
+            population, seed=0, termination_overhead_seconds=0.0
+        )
+        # Seat the exact profiles (recruitment would re-sample them under
+        # fresh ids); worker 1 must be the 300s straggler.
+        for profile in profiles:
+            platform.pool.add_worker(profile, now=0.0)
+        mitigator = StragglerMitigator(
+            enabled=True, policy=StragglerRoutingPolicy.ORACLE_SLOWEST, seed=0
+        )
+        guard = LifeGuard(platform, mitigator, use_dispatch_gate=use_gate)
+        batch = build_batch(3)
+        guard.run_batch(batch)
+
+        # Worker 1's 300s attempt lost to worker 0's duplicate; freed with
+        # zero acknowledgement overhead, they must start their next
+        # assignment at the exact termination timestamp.
+        w1_assignments = sorted(
+            (
+                a
+                for task in batch.tasks
+                for a in task.assignments
+                if a.worker_id == 1
+            ),
+            key=lambda a: a.started_at,
+        )
+        assert len(w1_assignments) >= 2
+        first, second = w1_assignments[0], w1_assignments[1]
+        assert first.terminated_at is not None
+        assert second.started_at == first.terminated_at
+
+    def test_gate_reset_between_batches(self):
+        """A gate closed at the end of one batch must not leak into the
+        next batch on the same LifeGuard."""
+        platform = build_platform(6, seed=6)
+        guard = lifeguard_for(platform)
+        guard.mitigator.max_extra_assignments = 0
+        first = guard.run_batch(build_batch(3), batch_index=0)
+        second = guard.run_batch(build_batch(3), batch_index=1)
+        assert len(first.labels) == 3
+        assert len(second.labels) == 3
+
+    def test_gate_disabled_matches_pre_gate_probe_volume(self):
+        """``use_dispatch_gate=False`` restores exhaustive probing: every
+        event probes every available worker (the pre-gate behaviour the
+        benchmark "before" baselines are generated with)."""
+        platform = build_platform(6, seed=7)
+        guard = lifeguard_for(platform, use_dispatch_gate=False)
+        guard.mitigator.max_extra_assignments = 0
+        guard.run_batch(build_batch(3))
+        counters = platform.counters
+        # Surplus workers + cap 0 guarantee futile probes survive ungated.
+        assert counters.probes_futile > 0
+        assert counters.probes_attempted == (
+            counters.assignments_started + counters.probes_futile
+        )
 
 
 class TestOutcomeDetails:

@@ -1,90 +1,52 @@
-"""Equivalence layer: the incremental active-task index vs the brute scan.
+"""Equivalence layer: fast dispatch paths vs the brute-force oracle.
 
 The straggler mitigator serves dispatch from an incrementally-maintained
-:class:`~repro.core.active_index.ActiveTaskIndex`; the fused brute-force
-candidate scan (:meth:`StragglerMitigator.pick_task_scan`) is kept as the
-reference oracle.  These tests hold the contract the optimisation was built
-under: for any seed, pool size, and batch configuration, the indexed run
-must produce *bit-identical* labels, platform cost counters, simulation
-clocks, and dollar costs to the oracle run — same RNG stream, same
-assignment-by-assignment schedule.
+:class:`~repro.core.active_index.ActiveTaskIndex` and the LifeGuard skips
+provably-futile probe sweeps behind an event-level
+:class:`~repro.core.lifeguard.DispatchGate`; the fused brute-force candidate
+scan (:meth:`StragglerMitigator.pick_task_scan`) with ungated probing is
+kept as the reference oracle.  These tests hold the contract both
+optimisations were built under — see ``tests/equivalence.py``, the reusable
+harness that runs every sweep cell across the {indexed, scan} x {gated,
+ungated} grid and asserts bit-identical labels, platform cost counters,
+simulation clocks, and dollar costs.
 
-A mismatch here means the index's view of the batch diverged from the task
-objects (a missed callback, a wrong count, a reordered candidate list) and
-would silently change every published benchmark number.
+A mismatch here means a fast path's view of the batch diverged from the
+task objects (a missed callback, a wrong count, a reordered candidate list,
+a gate that closed while something was still placeable) and would silently
+change every published benchmark number.
+
+The sweep classes carry the ``equivalence`` marker so CI can run the sweep
+standalone: ``pytest -m equivalence``.
 """
-
-import dataclasses
 
 import pytest
 
-from repro.api.engine import JobSpec, build_run
-from repro.api.events import drain_stream
-from repro.core.active_index import ActiveTaskIndex
-from repro.core.config import (
-    CLAMShellConfig,
-    LearningStrategy,
-    StragglerRoutingPolicy,
+from equivalence import (
+    DEFAULT_VARIANTS,
+    Variant,
+    assert_equivalent,
+    labeling_config,
 )
+from repro.core.active_index import ActiveTaskIndex
+from repro.core.config import StragglerRoutingPolicy
 from repro.crowd.tasks import Assignment, Batch, Task
-from repro.experiments.common import make_labeling_workload, mixed_speed_population
 
 
-def _labeling_config(**overrides) -> CLAMShellConfig:
-    base = dict(
-        straggler_mitigation=True,
-        maintenance_threshold=None,
-        learning_strategy=LearningStrategy.NONE,
-    )
-    base.update(overrides)
-    return CLAMShellConfig(**base)
-
-
-def _run(config: CLAMShellConfig, num_records: int, use_index: bool, **mitigator_overrides):
-    """One full engine-path run; returns everything that must match."""
-    dataset = make_labeling_workload(num_records=2 * num_records, seed=config.seed)
-    spec = JobSpec(
-        dataset=dataset,
-        config=config,
-        population=mixed_speed_population(seed=config.seed),
-        num_records=num_records,
-    )
-    platform, batcher = build_run(spec)
-    mitigator = batcher.lifeguard.mitigator
-    mitigator.use_index = use_index
-    for name, value in mitigator_overrides.items():
-        setattr(mitigator, name, value)
-    result = drain_stream(batcher.run_iter(num_records=num_records))
-    return {
-        "labels": result.labels,
-        "counters": dataclasses.asdict(platform.counters),
-        "sim_seconds": platform.now,
-        "total_cost": result.total_cost,
-        "events_processed": platform.queue.events_processed,
-        "waiting_seconds": platform.pool.total_waiting_seconds(),
-        "working_seconds": platform.pool.total_working_seconds(),
-    }
-
-
-def _assert_equivalent(config: CLAMShellConfig, num_records: int = 60, **mitigator_overrides):
-    indexed = _run(config, num_records, use_index=True, **mitigator_overrides)
-    oracle = _run(config, num_records, use_index=False, **mitigator_overrides)
-    assert indexed == oracle
-
-
+@pytest.mark.equivalence
 class TestPropertySweep:
-    """Seeds x pool sizes x batch configurations, indexed vs oracle."""
+    """Seeds x pool sizes x batch configurations, all variants pairwise."""
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
     @pytest.mark.parametrize("pool_size", [3, 9, 17])
     def test_plain_mitigation(self, seed, pool_size):
-        _assert_equivalent(_labeling_config(pool_size=pool_size, seed=seed))
+        assert_equivalent(labeling_config(pool_size=pool_size, seed=seed))
 
     @pytest.mark.parametrize("seed", [0, 7])
     @pytest.mark.parametrize("pool_batch_ratio", [0.5, 2.0])
     def test_batch_ratio_regimes(self, seed, pool_batch_ratio):
-        _assert_equivalent(
-            _labeling_config(
+        assert_equivalent(
+            labeling_config(
                 pool_size=8, pool_batch_ratio=pool_batch_ratio, seed=seed
             )
         )
@@ -92,24 +54,25 @@ class TestPropertySweep:
     @pytest.mark.parametrize("seed", [0, 1])
     @pytest.mark.parametrize("votes_required", [2, 3])
     def test_quality_control_redundancy(self, seed, votes_required):
-        """Redundancy makes the involvement filter non-vacuous."""
-        _assert_equivalent(
-            _labeling_config(pool_size=8, votes_required=votes_required, seed=seed),
+        """Redundancy makes the involvement filter non-vacuous, so the gate
+        may only close on an empty live set — never on a futile probe."""
+        assert_equivalent(
+            labeling_config(pool_size=8, votes_required=votes_required, seed=seed),
             num_records=40,
         )
 
     @pytest.mark.parametrize("seed", [0, 4])
     def test_grouped_records_per_task(self, seed):
-        _assert_equivalent(
-            _labeling_config(pool_size=6, records_per_task=5, seed=seed)
+        assert_equivalent(
+            labeling_config(pool_size=6, records_per_task=5, seed=seed)
         )
 
     @pytest.mark.parametrize("seed", [0, 1, 5])
     def test_maintenance_and_abandonment(self, seed):
         """Evictions terminate assignments from inside the platform — the
-        path only the assignment observers see."""
-        _assert_equivalent(
-            _labeling_config(
+        path only the assignment observers (index *and* gate) see."""
+        assert_equivalent(
+            labeling_config(
                 pool_size=10,
                 maintenance_threshold=8.0,
                 abandonment_rate=0.05,
@@ -119,9 +82,10 @@ class TestPropertySweep:
 
     @pytest.mark.parametrize("max_extra", [0, 1, 3])
     def test_duplicate_caps(self, max_extra):
-        """Capped RANDOM routing without QC rides the duplicable fast path."""
-        _assert_equivalent(
-            _labeling_config(pool_size=9, seed=2),
+        """Capped RANDOM routing without QC rides the duplicable fast path;
+        a saturated cap is also where the dispatch gate closes hardest."""
+        assert_equivalent(
+            labeling_config(pool_size=9, seed=2),
             max_extra_assignments=max_extra,
         )
 
@@ -129,8 +93,8 @@ class TestPropertySweep:
     @pytest.mark.parametrize("max_extra", [0, 1, 2])
     def test_duplicate_caps_from_config(self, seed, max_extra):
         """The cap plumbed through CLAMShellConfig, not set on the mitigator."""
-        _assert_equivalent(
-            _labeling_config(
+        assert_equivalent(
+            labeling_config(
                 pool_size=9, max_extra_assignments=max_extra, seed=seed
             )
         )
@@ -139,8 +103,8 @@ class TestPropertySweep:
     @pytest.mark.parametrize("max_extra", [0, 1])
     def test_duplicate_caps_with_quality_control(self, votes_required, max_extra):
         """Capped + redundant: the involvement filter forces the medium path."""
-        _assert_equivalent(
-            _labeling_config(
+        assert_equivalent(
+            labeling_config(
                 pool_size=8,
                 votes_required=votes_required,
                 max_extra_assignments=max_extra,
@@ -159,8 +123,8 @@ class TestPropertySweep:
     )
     @pytest.mark.parametrize("max_extra", [1, 2])
     def test_duplicate_caps_with_non_random_routing(self, policy, max_extra):
-        _assert_equivalent(
-            _labeling_config(
+        assert_equivalent(
+            labeling_config(
                 pool_size=9,
                 straggler_routing=policy,
                 max_extra_assignments=max_extra,
@@ -170,9 +134,10 @@ class TestPropertySweep:
 
     def test_duplicate_cap_with_maintenance_and_abandonment(self):
         """Evictions/abandonment churn active counts under a cap — the
-        duplicable Fenwick layer must track the platform-side terminations."""
-        _assert_equivalent(
-            _labeling_config(
+        duplicable Fenwick layer must track the platform-side terminations
+        and the gate must re-arm on them."""
+        assert_equivalent(
+            labeling_config(
                 pool_size=10,
                 maintenance_threshold=8.0,
                 abandonment_rate=0.05,
@@ -182,8 +147,8 @@ class TestPropertySweep:
         )
 
     def test_duplicate_cap_with_decoupling_disabled(self):
-        _assert_equivalent(
-            _labeling_config(
+        assert_equivalent(
+            labeling_config(
                 pool_size=8,
                 votes_required=2,
                 decouple_quality_control=False,
@@ -195,8 +160,8 @@ class TestPropertySweep:
 
     def test_mitigator_override_wins_over_config_cap(self):
         """Setting the cap directly on the mitigator overrides the config's."""
-        _assert_equivalent(
-            _labeling_config(pool_size=9, max_extra_assignments=3, seed=2),
+        assert_equivalent(
+            labeling_config(pool_size=9, max_extra_assignments=3, seed=2),
             max_extra_assignments=1,
         )
 
@@ -209,18 +174,20 @@ class TestPropertySweep:
         ],
     )
     def test_non_random_routing_policies(self, policy):
-        _assert_equivalent(
-            _labeling_config(pool_size=9, straggler_routing=policy, seed=1)
+        assert_equivalent(
+            labeling_config(pool_size=9, straggler_routing=policy, seed=1)
         )
 
     def test_mitigation_disabled(self):
-        _assert_equivalent(
-            _labeling_config(pool_size=8, straggler_mitigation=False, seed=3)
+        """NoSM: placeability collapses to unassigned + starved, so the gate
+        closes for the whole straggler tail — the behaviour must not move."""
+        assert_equivalent(
+            labeling_config(pool_size=8, straggler_mitigation=False, seed=3)
         )
 
     def test_quality_control_without_decoupling(self):
-        _assert_equivalent(
-            _labeling_config(
+        assert_equivalent(
+            labeling_config(
                 pool_size=8,
                 votes_required=2,
                 decouple_quality_control=False,
@@ -228,6 +195,112 @@ class TestPropertySweep:
             ),
             num_records=40,
         )
+
+
+@pytest.mark.equivalence
+class TestDispatchGateSweep:
+    """Gate-specific cells: regimes chosen to force closures and re-arms."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    @pytest.mark.parametrize("max_extra", [0, 1])
+    def test_saturating_caps_with_surplus_workers(self, seed, max_extra):
+        """Pool much larger than the batch + a tight cap: the cap saturates
+        within the first event and stays saturated, so nearly every ungated
+        probe is futile — the regime the gate exists for."""
+        runs = assert_equivalent(
+            labeling_config(
+                pool_size=17, max_extra_assignments=max_extra, seed=seed
+            ),
+            num_records=30,
+        )
+        gated = runs["indexed+gate"]["probes"]
+        ungated = runs["indexed-ungated"]["probes"]
+        assert gated["probes_futile"] < ungated["probes_futile"]
+        assert gated["probes_attempted"] < ungated["probes_attempted"]
+
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_no_mitigation_with_surplus_workers(self, seed):
+        """NoSM with idle workers: every post-assignment event used to probe
+        the whole idle pool for nothing."""
+        assert_equivalent(
+            labeling_config(pool_size=12, straggler_mitigation=False, seed=seed),
+            num_records=30,
+        )
+
+    def test_capped_quality_control_saturation(self):
+        """QC keeps placeability worker-dependent: the gate may only skip on
+        an empty live set, and futile involvement probes must survive."""
+        assert_equivalent(
+            labeling_config(
+                pool_size=12,
+                votes_required=2,
+                max_extra_assignments=0,
+                seed=3,
+            ),
+            num_records=30,
+        )
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            StragglerRoutingPolicy.LONGEST_RUNNING,
+            StragglerRoutingPolicy.FEWEST_ACTIVE,
+            StragglerRoutingPolicy.ORACLE_SLOWEST,
+        ],
+    )
+    def test_gate_with_non_random_routing_and_cap(self, policy):
+        """Non-RANDOM routing takes the medium dispatch path; the gate's
+        placeability summary must agree with it about saturation."""
+        assert_equivalent(
+            labeling_config(
+                pool_size=14,
+                straggler_routing=policy,
+                max_extra_assignments=1,
+                seed=4,
+            ),
+            num_records=30,
+        )
+
+    def test_gate_with_maintenance_abandonment_and_cap(self):
+        """Pool churn (evictions, abandonment, refills) must re-arm the gate
+        through the observer hooks — a missed re-arm deadlocks or defers
+        work and shifts every downstream timestamp."""
+        assert_equivalent(
+            labeling_config(
+                pool_size=12,
+                maintenance_threshold=8.0,
+                abandonment_rate=0.08,
+                max_extra_assignments=1,
+                seed=5,
+            ),
+            num_records=40,
+        )
+
+    def test_gate_only_grid_with_grouped_tasks(self):
+        """Multi-record tasks under a saturating cap, gate-focused variants."""
+        assert_equivalent(
+            labeling_config(
+                pool_size=13,
+                records_per_task=5,
+                max_extra_assignments=1,
+                seed=6,
+            ),
+            num_records=40,
+            variants=(
+                Variant("indexed+gate"),
+                Variant("indexed-ungated", use_dispatch_gate=False),
+            ),
+        )
+
+    def test_default_grid_shape(self):
+        """The default grid pits four variants against each other."""
+        assert len(DEFAULT_VARIANTS) == 4
+        assert {(v.use_index, v.use_dispatch_gate) for v in DEFAULT_VARIANTS} == {
+            (True, True),
+            (False, True),
+            (True, False),
+            (False, False),
+        }
 
 
 class TestIndexUnit:
@@ -422,3 +495,88 @@ class TestIndexUnit:
         a1.complete(at=3.0, labels=[0])
         index.assignment_completed(task, a1)
         assert 0 in index.involved_tasks(2)
+
+
+class TestPlaceableCountUnit:
+    """The index's O(1) placeability summary against hand-built states."""
+
+    @staticmethod
+    def _batch(num_tasks, votes_required=1):
+        tasks = [
+            Task(
+                task_id=i,
+                record_ids=[i],
+                true_labels=[0],
+                votes_required=votes_required,
+            )
+            for i in range(num_tasks)
+        ]
+        return Batch(batch_id=0, tasks=tasks), tasks
+
+    @staticmethod
+    def _assign(task, worker_id, assignment_id):
+        assignment = Assignment(
+            assignment_id=assignment_id,
+            task_id=task.task_id,
+            worker_id=worker_id,
+            started_at=0.0,
+            duration=10.0,
+        )
+        task.add_assignment(assignment)
+        return assignment
+
+    def test_unassigned_tasks_are_placeable(self):
+        batch, _ = self._batch(3)
+        index = ActiveTaskIndex(batch)
+        assert index.placeable_count(enabled=True) > 0
+        assert index.placeable_count(enabled=False) > 0
+
+    def test_saturated_cap_reaches_zero(self):
+        batch, tasks = self._batch(2)
+        index = ActiveTaskIndex(batch, max_extra_assignments=0)
+        for i, task in enumerate(tasks):
+            index.assignment_started(task, self._assign(task, i, i))
+        # Every task assigned once; cap 0 forbids duplicates: nothing left.
+        assert index.placeable_count(enabled=True, max_extra_assignments=0) == 0
+        # An uncapped mitigator over the same index stays placeable.
+        assert index.placeable_count(enabled=True, max_extra_assignments=None) > 0
+
+    def test_termination_restores_placeability(self):
+        batch, tasks = self._batch(1)
+        index = ActiveTaskIndex(batch, max_extra_assignments=0)
+        assignment = self._assign(tasks[0], worker_id=0, assignment_id=0)
+        index.assignment_started(tasks[0], assignment)
+        assert index.placeable_count(enabled=True, max_extra_assignments=0) == 0
+        assignment.terminate(at=1.0)
+        index.assignment_terminated(tasks[0], assignment)
+        # The task is now starved: placeable even with mitigation disabled.
+        assert index.placeable_count(enabled=False, max_extra_assignments=0) > 0
+
+    def test_mitigation_disabled_ignores_duplicable_live_tasks(self):
+        batch, tasks = self._batch(2)
+        index = ActiveTaskIndex(batch)
+        for i, task in enumerate(tasks):
+            index.assignment_started(task, self._assign(task, i, i))
+        assert index.placeable_count(enabled=False) == 0
+        assert index.placeable_count(enabled=True) > 0
+
+    def test_quality_control_keeps_live_batches_placeable(self):
+        """Worker-dependent involvement: only an empty live set is futile."""
+        batch, tasks = self._batch(1, votes_required=2)
+        index = ActiveTaskIndex(batch, max_extra_assignments=0)
+        index.assignment_started(
+            tasks[0], self._assign(tasks[0], worker_id=0, assignment_id=0)
+        )
+        assert index.placeable_count(enabled=True, max_extra_assignments=0) > 0
+
+    def test_completed_batch_reaches_zero(self):
+        batch, tasks = self._batch(1)
+        index = ActiveTaskIndex(batch)
+        assignment = self._assign(tasks[0], worker_id=0, assignment_id=0)
+        index.assignment_started(tasks[0], assignment)
+        assignment.complete(at=5.0, labels=[0])
+        index.assignment_completed(tasks[0], assignment)
+        tasks[0].record_answer(worker_id=0, labels=[0], at=5.0)
+        index.task_completed(tasks[0])
+        assert index.placeable_count(enabled=True) == 0
+        assert index.placeable_count(enabled=False) == 0
