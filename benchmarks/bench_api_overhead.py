@@ -51,12 +51,16 @@ def _measure(dataset, seed):
     facade_times, engine_times = [], []
     facade_result = engine_result = None
     for _ in range(REPS):  # alternate paths so drift hits both equally
+        # repro: allow[REPRO-D104] -- overhead benchmark times the wall, by design
         start = time.perf_counter()
         facade_result = _facade_run(dataset, seed)
+        # repro: allow[REPRO-D104] -- overhead benchmark times the wall, by design
         facade_times.append(time.perf_counter() - start)
 
+        # repro: allow[REPRO-D104] -- overhead benchmark times the wall, by design
         start = time.perf_counter()
         engine_result = _engine_run(dataset, seed)
+        # repro: allow[REPRO-D104] -- overhead benchmark times the wall, by design
         engine_times.append(time.perf_counter() - start)
     return facade_times, engine_times, facade_result, engine_result
 

@@ -37,7 +37,7 @@ def test_sim_maintenance_convergence_model(benchmark, seed):
     rows = [
         [index, round(observed, 2), round(predicted, 2)]
         for index, (observed, predicted) in enumerate(
-            zip(result.observed_mpl, result.predicted_mpl)
+            zip(result.observed_mpl, result.predicted_mpl, strict=False)
         )
     ]
     report(

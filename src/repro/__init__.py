@@ -80,7 +80,7 @@ from .learning import (
     make_mnist_like,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CLAMShell",

@@ -27,7 +27,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
+from typing import Any, Callable, ClassVar, Iterator, Mapping, Optional, Sequence
 
 from ..core.batcher import Batcher, RunResult
 from ..core.config import CLAMShellConfig, full_clamshell
@@ -190,6 +190,17 @@ class LabelingJob:
     event history first) or block in :meth:`result`.
     """
 
+    #: Lock-discipline declaration, enforced by ``repro lint`` (REPRO-C301):
+    #: the listed fields may only be read or written while holding
+    #: ``self._cond``.  Helpers named ``*_locked`` document that their
+    #: caller already holds it.  ``batcher``/``platform`` are deliberately
+    #: unguarded: the worker thread writes them before any event is emitted
+    #: and consumers read them only after ``result()`` returns, with the
+    #: condition's acquire/release providing the happens-before edge.
+    _GUARDED_BY: ClassVar[Mapping[str, tuple[str, ...]]] = {
+        "_cond": ("_events", "_status", "_result", "_error"),
+    }
+
     def __init__(self, spec: JobSpec, job_id: int) -> None:
         self.spec = spec
         self.job_id = job_id
@@ -306,6 +317,13 @@ class Engine:
     :meth:`close`) to tear the pool down deterministically.
     """
 
+    #: Lock-discipline declaration, enforced by ``repro lint`` (REPRO-C301).
+    #: ``_job_ids`` is deliberately unguarded: ``itertools.count`` is atomic
+    #: under the GIL and ids only need uniqueness, not ordering.
+    _GUARDED_BY: ClassVar[Mapping[str, tuple[str, ...]]] = {
+        "_lock": ("_executor", "_closed", "_running", "concurrency_high_water"),
+    }
+
     def __init__(self, max_workers: int = 4) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -386,14 +404,12 @@ class Engine:
         if you need to keep observing them.
         """
         jobs = self.submit_many(specs)
-        deadline = (
-            None if timeout is None else time.monotonic() + timeout
-        )
+        # repro: allow[REPRO-D104] -- caller-facing timeout deadlines; never sim state
+        deadline = None if timeout is None else time.monotonic() + timeout
         results = []
         for job in jobs:
-            remaining = (
-                None if deadline is None else max(0.0, deadline - time.monotonic())
-            )
+            # repro: allow[REPRO-D104] -- remaining wall-clock budget for result()
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
             results.append(job.result(timeout=remaining))
         return results
 
@@ -409,12 +425,12 @@ class Engine:
         the thread pool interleaves them.
         """
         jobs = self.submit_many(specs)
+        # repro: allow[REPRO-D104] -- caller-facing timeout deadlines; never sim state
         deadline = None if timeout is None else time.monotonic() + timeout
         paired: list[tuple[RunResult, ExecutionStats]] = []
         for job in jobs:
-            remaining = (
-                None if deadline is None else max(0.0, deadline - time.monotonic())
-            )
+            # repro: allow[REPRO-D104] -- remaining wall-clock budget for result()
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
             paired.append((job.result(timeout=remaining), job.stats()))
         return paired
 

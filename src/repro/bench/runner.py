@@ -199,8 +199,10 @@ def run_benchmark(
     outcomes: list[WorkloadOutcome] = []
     walls: list[float] = []
     for _ in range(repeat):
+        # repro: allow[REPRO-D104] -- the bench harness times the wall, by design
         start = time.perf_counter()
         outcome = spec.execute(seed=seed, **params)
+        # repro: allow[REPRO-D104] -- the bench harness times the wall, by design
         walls.append(time.perf_counter() - start)
         outcomes.append(outcome)
 
@@ -223,6 +225,7 @@ def run_benchmark(
         wall_seconds=walls,
         outcome=outcomes[0],
         git_sha=_git_sha(),
+        # repro: allow[REPRO-D104] -- provenance stamp on the BENCH document only
         created_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
     )
 

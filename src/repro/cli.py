@@ -8,13 +8,16 @@ Usage::
     python -m repro bench scale --json BENCH_scale.json --repeat 3
     python -m repro bench concurrency --json BENCH_concurrency.json
     python -m repro bench compare baselines/BENCH_scale.json BENCH_scale.json
+    python -m repro lint src tests benchmarks
 
 Each experiment name maps to one paper artifact (see DESIGN.md); ``run``
 executes the driver and prints the reproduced table.  ``bench`` executes the
 machine-readable benchmark workloads of :mod:`repro.bench` and the scripted
-baseline comparator that backs the CI perf-regression gate.  This is a thin
-wrapper over :mod:`repro.experiments` / :mod:`repro.bench` for users who
-want the figures and numbers without writing Python.
+baseline comparator that backs the CI perf-regression gate.  ``lint`` runs
+the determinism/concurrency static-analysis pass of :mod:`repro.lint` that
+CI enforces (see README "Static analysis").  This is a thin wrapper over
+:mod:`repro.experiments` / :mod:`repro.bench` / :mod:`repro.lint` for users
+who want the figures and numbers without writing Python.
 """
 
 from __future__ import annotations
@@ -221,7 +224,7 @@ def _parse_cap(raw: str) -> int:
     try:
         value = int(raw)
     except ValueError:
-        raise argparse.ArgumentTypeError(f"expected an integer, got {raw!r}")
+        raise argparse.ArgumentTypeError(f"expected an integer, got {raw!r}") from None
     if value < -1:
         raise argparse.ArgumentTypeError(
             f"must be >= 0 (or -1 for unlimited), got {value}"
@@ -344,6 +347,31 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_lint_parser(subparsers: argparse._SubParsersAction) -> None:
+    from .lint import add_lint_arguments
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the determinism/concurrency static-analysis pass",
+        description=(
+            "AST-based checks for the repo's bit-identity invariants: seeded "
+            "RNG ownership, no wall-clock reads in simulated code, "
+            "_GUARDED_BY lock discipline, ordering hazards, and oracle "
+            "parity between indexed fast paths and their _scan twins.  "
+            "Exits 1 when unsuppressed findings remain (the CI lint gate)."
+        ),
+    )
+    add_lint_arguments(lint_parser)
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from .lint import run_lint_cli
+
+    return run_lint_cli(
+        args.paths, output_format=args.format, list_rules=args.list_rules
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -380,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_bench_parser(subparsers)
+    _add_lint_parser(subparsers)
     return parser
 
 
@@ -391,6 +420,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "lint":
+        return _run_lint(args)
     description, runner = EXPERIMENTS[args.experiment]
     print(f"Running: {description} (seed={args.seed})")
     kwargs: dict[str, object] = {}

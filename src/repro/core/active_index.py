@@ -46,7 +46,7 @@ holds this property over seeds × pool sizes × batch configurations.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Iterator, Optional
+from typing import TYPE_CHECKING, ClassVar, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..crowd.tasks import Assignment, Batch, Task
@@ -97,6 +97,17 @@ class ActiveTaskIndex:
     notification.  All queries the mitigator's dispatch path needs are O(1)
     or O(log n).
     """
+
+    #: Oracle-parity registry, enforced by ``repro lint`` (REPRO-P501): the
+    #: selection reads backing the mitigator's indexed fast paths, mapped to
+    #: the brute-force scan that serves as their committed test oracle.
+    #: Cross-class twins are resolved over the whole linted tree.
+    _SCAN_TWINS: ClassVar[dict[str, str]] = {
+        "placeable_count": "StragglerMitigator.placeable_count_scan",
+        "kth_live_task": "StragglerMitigator.pick_task_scan",
+        "kth_duplicable_task": "StragglerMitigator.pick_task_scan",
+        "first_starved": "StragglerMitigator.pick_task_scan",
+    }
 
     def __init__(
         self, batch: "Batch", max_extra_assignments: Optional[int] = None

@@ -423,14 +423,14 @@ class LifeGuard:
             # Single answer (quality control off, the default): the vote is
             # the answer; skip the Counter machinery entirely.
             _, answer_labels, _ = task.answers[0]
-            for record_id, label in zip(task.record_ids, answer_labels):
+            for record_id, label in zip(task.record_ids, answer_labels, strict=True):
                 labels[record_id] = int(label)
             return labels
         per_record_answers: list[list[int]] = [[] for _ in task.record_ids]
         for _, answer_labels, _ in task.answers:
             for position, label in enumerate(answer_labels):
                 per_record_answers[position].append(label)
-        for record_id, answers in zip(task.record_ids, per_record_answers):
+        for record_id, answers in zip(task.record_ids, per_record_answers, strict=True):
             labels[record_id] = majority_vote(answers, tie_break="first")
         return labels
 

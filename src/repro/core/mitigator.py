@@ -20,7 +20,7 @@ blow-up described in §4.1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import ClassVar, Optional, Sequence
 
 import numpy as np
 
@@ -51,6 +51,23 @@ class StragglerMitigator:
         Cap on concurrent mitigation duplicates per task; ``None`` means
         unlimited (the behaviour at high pool-to-batch ratios R).
     """
+
+    #: Oracle-parity registry, enforced by ``repro lint`` (REPRO-P501):
+    #: every indexed fast-path entry point maps to the brute-force scan twin
+    #: the equivalence tests compare it against.  A new fast path cannot
+    #: land without registering (and therefore writing) its oracle.
+    _SCAN_TWINS: ClassVar[dict[str, str]] = {
+        "pick_task": "pick_task_scan",
+        "placeable_count": "placeable_count_scan",
+    }
+    #: Methods that may touch ``self._index`` purely for lifecycle upkeep
+    #: (priming, discarding, completion notification) — not selection fast
+    #: paths, so no scan twin is required.
+    _INDEX_LIFECYCLE: ClassVar[tuple[str, ...]] = (
+        "begin_batch",
+        "end_batch",
+        "note_task_complete",
+    )
 
     enabled: bool = True
     policy: StragglerRoutingPolicy = StragglerRoutingPolicy.RANDOM

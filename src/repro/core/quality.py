@@ -60,7 +60,7 @@ def weighted_vote(
     if any(w < 0 for w in weights):
         raise ValueError("weights must be non-negative")
     totals: dict[int, float] = defaultdict(float)
-    for answer, weight in zip(answers, weights):
+    for answer, weight in zip(answers, weights, strict=True):
         totals[int(answer)] += float(weight)
     best_weight = max(totals.values())
     tied = [label for label, total in totals.items() if total == best_weight]
@@ -93,10 +93,14 @@ def inter_worker_agreement(
             if other_id == worker_id:
                 continue
             other = labels_by_worker[other_id]
-            shared = set(own) & set(other)
-            for record_id in shared:
+            # Iterate the dict, not a set intersection: dict order is the
+            # deterministic insertion order (and skips a hash-ordered
+            # intermediate the lint pass rightly flags).
+            for record_id, own_label in own.items():
+                if record_id not in other:
+                    continue
                 comparisons += 1
-                if own[record_id] == other[record_id]:
+                if own_label == other[record_id]:
                     agreements += 1
         agreement[worker_id] = agreements / comparisons if comparisons else 1.0
     return agreement
@@ -151,8 +155,9 @@ class WorkerQualityEstimator:
 
         posteriors: dict[int, np.ndarray] = {}
         converged = False
-        iteration = 0
-        for iteration in range(1, self.max_iterations + 1):
+        iterations = 0
+        for _ in range(self.max_iterations):
+            iterations += 1
             # E-step: posterior over each record's true label.
             for record_id in record_ids:
                 log_post = np.zeros(self.num_classes)
@@ -193,7 +198,7 @@ class WorkerQualityEstimator:
         return QualityEstimate(
             worker_accuracy=accuracy,
             record_labels=labels,
-            iterations=iteration,
+            iterations=iterations,
             converged=converged,
         )
 
@@ -223,7 +228,7 @@ class VoteAggregator:
             else:
                 weights = [
                     worker_accuracy.get(worker_id, 0.5)
-                    for worker_id in record_votes.keys()
+                    for worker_id in record_votes
                 ]
                 consensus[record_id] = weighted_vote(answers, weights)
         return consensus

@@ -373,6 +373,6 @@ def flatten_labels(tasks: Iterable[Task]) -> dict[int, int]:
         answer = task.first_answer_labels()
         if answer is None:
             continue
-        for record_id, label in zip(task.record_ids, answer):
+        for record_id, label in zip(task.record_ids, answer, strict=True):
             labels[record_id] = label
     return labels

@@ -1,0 +1,122 @@
+"""``repro.lint`` — determinism & concurrency static analysis for this repo.
+
+An AST-based pass that machine-checks the invariants every optimisation PR
+has relied on reviewers to spot: seeded RNG ownership, no wall-clock reads
+in simulated code, ``_GUARDED_BY`` lock discipline around the engine's
+condition variables, no hash-ordered iteration in the simulation core, and
+oracle parity (``_SCAN_TWINS``) between indexed fast paths and their
+brute-force scan twins.
+
+Run it as ``repro lint [paths]`` or ``python -m repro.lint``; suppress a
+deliberate exception with ``# repro: allow[RULE-ID] -- justification``.
+See ``repro lint --list-rules`` for the catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core import (
+    FRAMEWORK_RULES,
+    Finding,
+    LintModule,
+    LintReport,
+    Rule,
+    all_rules,
+    register,
+    run_lint,
+)
+
+__all__ = [
+    "FRAMEWORK_RULES",
+    "Finding",
+    "LintModule",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "add_lint_arguments",
+    "main",
+    "register",
+    "run_lint",
+    "run_lint_cli",
+]
+
+#: Directories linted when no paths are given (mirrors the CI invocation).
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint CLI arguments (shared by ``repro lint`` and -m)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def _rule_catalog_lines() -> list[str]:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}  {rule.name:<16} {rule.description}")
+    for rule_id, description in sorted(FRAMEWORK_RULES.items()):
+        lines.append(f"{rule_id}  {'(framework)':<16} {description}")
+    return lines
+
+
+def run_lint_cli(
+    paths: Sequence[str],
+    output_format: str = "human",
+    list_rules: bool = False,
+    root: Optional[Path] = None,
+) -> int:
+    """Execute the lint pass as the CLI does; returns the exit code."""
+    try:
+        if list_rules:
+            for line in _rule_catalog_lines():
+                print(line)
+            return 0
+        resolved_paths = list(paths) or [
+            path for path in DEFAULT_PATHS if Path(path).exists()
+        ]
+        if not resolved_paths:
+            print("repro lint: no paths to lint")
+            return 2
+        report = run_lint(resolved_paths, root=root)
+        if output_format == "json":
+            print(report.to_json())
+        else:
+            for line in report.summary_lines():
+                print(line)
+        return 0 if report.ok else 1
+    except BrokenPipeError:
+        # `repro lint ... | head` closed the pipe; silence the shutdown
+        # flush and report failure without a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Determinism & concurrency static analysis for this repo.",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_lint_cli(
+        args.paths, output_format=args.format, list_rules=args.list_rules
+    )

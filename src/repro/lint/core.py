@@ -1,0 +1,451 @@
+"""Framework core for ``repro lint``: modules, rules, pragmas, reports.
+
+The pass is deliberately self-contained (stdlib ``ast`` + ``tokenize`` only)
+so the CI lint job can run it without the scientific stack, and deterministic
+by construction: files are walked in sorted order and every rule visits one
+parsed module at a time.
+
+Vocabulary
+----------
+* A :class:`LintModule` is one parsed source file plus the metadata rules
+  need: the dotted module name (``repro.core.mitigator`` for files under
+  ``src/``), resolved import aliases, and the suppression pragmas found in
+  its comments.
+* A :class:`Rule` contributes findings for one invariant.  Rules run in two
+  phases: :meth:`Rule.check` per module, then :meth:`Rule.finalize` once
+  over the whole batch for cross-file obligations (e.g. the oracle-parity
+  rule resolving a scan twin declared in another module).
+* A :class:`Finding` pins a rule violation to ``path:line:col``.  Findings
+  are suppressed by a pragma comment on the same line (or a comment-only
+  line directly above)::
+
+      now = time.monotonic()  # repro: allow[REPRO-D104] -- deadline arithmetic
+
+  The pragma **must** carry a justification after ``--``; a bare pragma and
+  a pragma that suppresses nothing are themselves findings (REPRO-X001 /
+  REPRO-X002), so allowlists cannot rot silently.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, ClassVar, Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Finding",
+    "LintModule",
+    "LintReport",
+    "Pragma",
+    "Rule",
+    "all_rules",
+    "register",
+    "run_lint",
+]
+
+#: ``# repro: allow[REPRO-D104]`` or ``# repro: allow[REPRO-D104,REPRO-O401]``
+#: with an optional `` -- why this is fine`` justification tail.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<ids>[A-Z0-9,\-\s]+)\]\s*(?:--\s*(?P<why>.*\S))?\s*$"
+)
+
+#: Framework-level rule ids (not in the registry; always active).
+PRAGMA_UNJUSTIFIED = "REPRO-X001"
+PRAGMA_UNUSED = "REPRO-X002"
+PARSE_ERROR = "REPRO-X000"
+
+FRAMEWORK_RULES: dict[str, str] = {
+    PARSE_ERROR: "file could not be parsed",
+    PRAGMA_UNJUSTIFIED: "suppression pragma lacks a `-- justification` tail",
+    PRAGMA_UNUSED: "suppression pragma matches no finding on its line",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to a source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Pragma:
+    """A parsed ``# repro: allow[...]`` comment."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: Optional[str]
+    used: bool = False
+
+
+def _parse_pragmas(source: str) -> dict[int, Pragma]:
+    """Map comment line -> pragma for every allow-comment in ``source``."""
+    pragmas: dict[int, Pragma] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            ids = tuple(
+                part.strip() for part in match.group("ids").split(",") if part.strip()
+            )
+            pragmas[token.start[0]] = Pragma(
+                line=token.start[0],
+                rule_ids=ids,
+                justification=match.group("why"),
+            )
+    except tokenize.TokenizeError:  # the parse-error finding covers this file
+        return {}
+    return pragmas
+
+
+class _ParentAnnotator(ast.NodeVisitor):
+    """Attach ``.parent`` links so rules can walk outward from a node."""
+
+    def generic_visit(self, node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            child.parent = node  # type: ignore[attr-defined]
+        super().generic_visit(node)
+
+
+@dataclass
+class LintModule:
+    """One parsed source file plus the metadata rules operate on."""
+
+    path: Path
+    #: Path as reported in findings (relative to the lint root when possible).
+    display_path: str
+    #: Dotted module name: ``repro.core.mitigator`` for src files,
+    #: ``tests.test_lint`` for test files.
+    name: str
+    source: str
+    tree: ast.Module
+    pragmas: dict[int, Pragma] = field(default_factory=dict)
+    #: ``alias -> dotted target`` for every import in the module
+    #: (``np -> numpy``, ``default_rng -> numpy.random.default_rng``).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Comment-only source lines (1-based), for above-line pragma placement.
+    comment_lines: frozenset[int] = frozenset()
+
+    def resolve(self, dotted: str) -> str:
+        """Resolve the leading alias of a dotted name through the imports.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` when the
+        module did ``import numpy as np``; names that are not imports come
+        back unchanged, so attribute chains on locals never alias a module.
+        """
+        head, _, rest = dotted.partition(".")
+        target = self.imports.get(head)
+        if target is None:
+            return dotted
+        return f"{target}.{rest}" if rest else target
+
+    def in_package(self, *prefixes: str) -> bool:
+        """True when the module lives under any of the dotted ``prefixes``."""
+        return any(
+            self.name == prefix or self.name.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    # ``import numpy.random`` binds the top-level name.
+                    head = alias.name.partition(".")[0]
+                    imports[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                imports[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return imports
+
+
+def _comment_only_lines(source: str, pragmas: dict[int, Pragma]) -> frozenset[int]:
+    lines = source.splitlines()
+    only = set()
+    for line_no in pragmas:
+        if 1 <= line_no <= len(lines) and lines[line_no - 1].lstrip().startswith("#"):
+            only.add(line_no)
+    return frozenset(only)
+
+
+def module_name_for(path: Path, root: Optional[Path] = None) -> str:
+    """Dotted module name for ``path`` (``src/`` prefix stripped)."""
+    try:
+        relative = path.relative_to(root) if root is not None else path
+    except ValueError:
+        relative = path
+    parts = list(relative.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(part for part in parts if part not in ("", "."))
+
+
+class Rule:
+    """Base class for one lint rule.
+
+    Subclasses set the class attributes, implement :meth:`check` (and
+    optionally :meth:`finalize` for cross-file obligations), and emit
+    findings via :meth:`finding`.
+    """
+
+    rule_id: ClassVar[str] = ""
+    name: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def applies_to(self, module: LintModule) -> bool:
+        return True
+
+    def check(self, module: LintModule) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(self, modules: Sequence[LintModule]) -> Iterator[Finding]:
+        return iter(())
+
+    def finding(
+        self, module: LintModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: list[type[Rule]] = []
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.rule_id:
+        raise ValueError(f"{rule_class.__name__} must set rule_id")
+    if any(existing.rule_id == rule_class.rule_id for existing in _REGISTRY):
+        raise ValueError(f"duplicate rule id {rule_class.rule_id}")
+    _REGISTRY.append(rule_class)
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Fresh instances of every registered rule, in registration order."""
+    from . import rules as _rules  # noqa: F401  (registration side effect)
+
+    return [rule_class() for rule_class in _REGISTRY]
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": [finding.to_dict() for finding in self.suppressed],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def summary_lines(self) -> list[str]:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"repro lint: {len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppressed, {self.files_checked} file(s) checked"
+        )
+        return lines
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def load_module(path: Path, root: Optional[Path] = None) -> tuple[
+    Optional[LintModule], Optional[Finding]
+]:
+    """Parse one file; returns (module, None) or (None, parse-error finding)."""
+    display = str(path)
+    if root is not None:
+        try:
+            display = str(path.relative_to(root))
+        except ValueError:
+            display = str(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=display)
+    except SyntaxError as error:
+        return None, Finding(
+            rule_id=PARSE_ERROR,
+            path=display,
+            line=error.lineno or 1,
+            col=(error.offset or 0) + 1,
+            message=f"syntax error: {error.msg}",
+        )
+    _ParentAnnotator().visit(tree)
+    pragmas = _parse_pragmas(source)
+    return (
+        LintModule(
+            path=path,
+            display_path=display,
+            name=module_name_for(path, root=root),
+            source=source,
+            tree=tree,
+            pragmas=pragmas,
+            imports=_collect_imports(tree),
+            comment_lines=_comment_only_lines(source, pragmas),
+        ),
+        None,
+    )
+
+
+def _pragma_for(module: LintModule, finding: Finding) -> Optional[Pragma]:
+    """The pragma suppressing ``finding``, if one is placed correctly."""
+    for line in (finding.line, finding.line - 1):
+        pragma = module.pragmas.get(line)
+        if pragma is None:
+            continue
+        if line == finding.line - 1 and line not in module.comment_lines:
+            continue  # above-line placement requires a comment-only line
+        if finding.rule_id in pragma.rule_ids:
+            return pragma
+    return None
+
+
+def run_lint(
+    paths: Sequence[Path | str],
+    root: Optional[Path] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> LintReport:
+    """Run every registered rule over ``paths`` and report the findings.
+
+    ``root`` anchors display paths and module names (defaults to the current
+    working directory).  Suppressed findings are matched against pragmas and
+    the framework emits its own findings for unjustified or unused pragmas.
+    """
+    root = Path.cwd() if root is None else root
+    active_rules = list(all_rules()) if rules is None else list(rules)
+
+    modules: list[LintModule] = []
+    findings: list[Finding] = []
+    files_checked = 0
+    for path in _iter_python_files([Path(p) for p in paths]):
+        files_checked += 1
+        module, parse_error = load_module(path, root=root)
+        if parse_error is not None:
+            findings.append(parse_error)
+            continue
+        assert module is not None
+        modules.append(module)
+        if progress is not None:
+            progress(module.display_path)
+        for rule in active_rules:
+            if rule.applies_to(module):
+                findings.extend(rule.check(module))
+    for rule in active_rules:
+        findings.extend(rule.finalize(modules))
+
+    by_path = {module.display_path: module for module in modules}
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        module = by_path.get(finding.path)
+        pragma = _pragma_for(module, finding) if module is not None else None
+        if pragma is not None:
+            pragma.used = True
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+
+    # Framework findings: pragmas must justify themselves and must bite.
+    for module in modules:
+        for pragma in module.pragmas.values():
+            if not pragma.justification:
+                kept.append(
+                    Finding(
+                        rule_id=PRAGMA_UNJUSTIFIED,
+                        path=module.display_path,
+                        line=pragma.line,
+                        col=1,
+                        message=(
+                            "suppression needs a justification: "
+                            "`# repro: allow[RULE-ID] -- why this is safe`"
+                        ),
+                    )
+                )
+            if not pragma.used:
+                kept.append(
+                    Finding(
+                        rule_id=PRAGMA_UNUSED,
+                        path=module.display_path,
+                        line=pragma.line,
+                        col=1,
+                        message=(
+                            "pragma suppresses nothing here "
+                            f"(allowed: {', '.join(pragma.rule_ids)}); remove it"
+                        ),
+                    )
+                )
+
+    def sort_key(finding: Finding) -> tuple[str, int, int, str]:
+        return (finding.path, finding.line, finding.col, finding.rule_id)
+
+    kept.sort(key=sort_key)
+    suppressed.sort(key=sort_key)
+    return LintReport(
+        findings=kept, suppressed=suppressed, files_checked=files_checked
+    )

@@ -1,0 +1,91 @@
+"""Regression pins for the determinism findings fixed by the lint pass.
+
+The `repro lint` ordering rule (REPRO-O401) surfaced two hash-order hazards
+in ``repro.core.quality``: ``inter_worker_agreement`` iterated a
+``set(own) & set(other)`` intersection, and the weighted-consensus path
+iterated ``record_votes.keys()``.  Both were rewritten to deterministic
+dict-order iteration.  The rewrites are *behaviour-preserving* — agreement
+sums are commutative and ``.keys()`` shares the dict's insertion order — and
+these tests pin that claim two ways:
+
+* unit level: exact agreement/consensus values on hand-built vote sets;
+* system level: a full engine-path run fingerprint (labels, every platform
+  counter, simulation clock, dollar cost) pinned to the values the
+  brute-force oracle produced before the rewrite.  Any future change that
+  perturbs consensus keying or iteration order breaks these pins loudly.
+"""
+
+import pytest
+
+from equivalence import labeling_config, run_fingerprint
+from repro.core.quality import VoteAggregator, inter_worker_agreement
+
+
+class TestInterWorkerAgreementPin:
+    def test_exact_values_on_overlapping_votes(self):
+        labels_by_worker = {
+            1: {10: 0, 11: 1},
+            2: {10: 0, 11: 0},
+            3: {11: 1},
+        }
+        agreement = inter_worker_agreement(labels_by_worker)
+        # worker 1: agrees with 2 on record 10, with 3 on 11; disagrees
+        # with 2 on 11 -> 2/3.  worker 2: 1/3.  worker 3: 1/2.
+        assert agreement == {
+            1: pytest.approx(2 / 3),
+            2: pytest.approx(1 / 3),
+            3: pytest.approx(1 / 2),
+        }
+
+    def test_agreement_is_insertion_order_invariant(self):
+        forward = {1: {10: 0, 11: 1}, 2: {11: 1, 10: 0}}
+        backward = {2: {10: 0, 11: 1}, 1: {11: 1, 10: 0}}
+        assert inter_worker_agreement(forward) == inter_worker_agreement(backward)
+
+
+class TestWeightedConsensusPin:
+    def test_weights_follow_vote_insertion_order(self):
+        aggregator = VoteAggregator(num_classes=2)
+        aggregator.add_vote(record_id=0, worker_id=1, label=0)
+        aggregator.add_vote(record_id=0, worker_id=2, label=1)
+        aggregator.add_vote(record_id=0, worker_id=3, label=1)
+        # Worker 1 is near-perfect; 2 and 3 are weak: the weighted vote must
+        # pair each weight with its own worker's label (0.99 > 0.3 + 0.3).
+        consensus = aggregator.consensus(
+            worker_accuracy={1: 0.99, 2: 0.3, 3: 0.3}
+        )
+        assert consensus == {0: 0}
+
+
+class TestEnginePathFingerprintPin:
+    """Full-run pin: quality-controlled labeling through the engine path."""
+
+    #: Values produced by the pre-rewrite brute-force oracle (seed 7,
+    #: 3 votes, pool 12, 30 records) — and by every path since.
+    EXPECTED_COUNTERS = {
+        "assignments_started": 154,
+        "assignments_completed": 90,
+        "assignments_terminated": 64,
+        "records_labeled_paid": 154,
+        "workers_recruited": 12,
+        "workers_replaced": 0,
+        "workers_abandoned": 0,
+    }
+
+    def test_pinned_fingerprint(self):
+        config = labeling_config(seed=7, votes_required=3, pool_size=12)
+        fingerprint = run_fingerprint(config, num_records=30)
+        for counter, expected in self.EXPECTED_COUNTERS.items():
+            assert fingerprint["counters"][counter] == expected, counter
+        assert len(fingerprint["labels"]) == 30
+        assert sum(fingerprint["labels"].values()) == 16
+        assert fingerprint["events_processed"] == 90
+        assert fingerprint["sim_seconds"] == pytest.approx(
+            48.69609239418373, rel=1e-9
+        )
+        assert fingerprint["total_cost"] == pytest.approx(
+            3.091970515273524, rel=1e-9
+        )
+        assert fingerprint["counters"]["recruitment_seconds_total"] == pytest.approx(
+            2665.3954346291775, rel=1e-9
+        )

@@ -163,7 +163,7 @@ class TestRunMany:
             first = engine.run_many(specs, timeout=300)
             second = engine.run_many(specs, timeout=300)
         assert len(first) == len(second) == 4
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert a.labels == b.labels
             assert a.final_accuracy == b.final_accuracy
             assert a.metrics.total_wall_clock == b.metrics.total_wall_clock
@@ -342,7 +342,7 @@ class TestRunManyWithStats:
         specs = self._specs(dataset, count=2)
         with Engine(max_workers=2) as engine:
             paired = engine.run_many_with_stats(specs, timeout=300)
-        for spec, (_, concurrent_stats) in zip(specs, paired):
+        for spec, (_, concurrent_stats) in zip(specs, paired, strict=True):
             _, inline_stats = Engine().run_with_stats(spec)
             assert concurrent_stats == inline_stats
 

@@ -37,9 +37,9 @@ class TestLabelCache:
         cache.add(7, 0, source="passive")
         ids, labels, is_active = cache.as_arrays()
         assert set(ids) == {3, 7}
-        lookup = dict(zip(ids, labels))
+        lookup = dict(zip(ids, labels, strict=True))
         assert lookup[3] == 1 and lookup[7] == 0
-        assert dict(zip(ids, is_active))[3]
+        assert dict(zip(ids, is_active, strict=True))[3]
 
     def test_empty_as_arrays(self):
         ids, labels, is_active = LabelCache().as_arrays()

@@ -153,7 +153,7 @@ class TestConvergenceModel:
 
     def test_monotone_decreasing(self):
         series = predicted_latency_series(0.4, 5.0, 60.0, 10)
-        assert all(earlier >= later for earlier, later in zip(series, series[1:]))
+        assert all(earlier >= later for earlier, later in zip(series, series[1:], strict=False))
         assert len(series) == 11
 
     def test_invalid_q_rejected(self):

@@ -371,7 +371,7 @@ class TestIndexUnit:
         assignments = [
             self._assign(tasks[i], worker_id=i, assignment_id=i) for i in range(3)
         ]
-        for task, assignment in zip(tasks, assignments):
+        for task, assignment in zip(tasks, assignments, strict=True):
             index.assignment_started(task, assignment)
         assert index.first_starved() is None
 
