@@ -36,8 +36,10 @@ Quickstart (engine API)::
 """
 
 from .api import (
+    WIRE_VERSION,
     CrowdBackend,
     Engine,
+    ExecutionStats,
     JobSpec,
     JobStatus,
     LabelingJob,
@@ -45,7 +47,11 @@ from .api import (
     ProgressKind,
     available_backends,
     create_backend,
+    event_to_dict,
     register_backend,
+    spec_from_dict,
+    spec_to_dict,
+    stats_to_dict,
 )
 from .core import (
     CLAMShell,
@@ -80,7 +86,7 @@ from .learning import (
     make_mnist_like,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CLAMShell",
@@ -88,6 +94,7 @@ __all__ = [
     "CrowdBackend",
     "Dataset",
     "Engine",
+    "ExecutionStats",
     "JobSpec",
     "JobStatus",
     "LabelingJob",
@@ -100,6 +107,7 @@ __all__ = [
     "RunResult",
     "SimulatedCrowdPlatform",
     "StragglerRoutingPolicy",
+    "WIRE_VERSION",
     "WorkerPopulation",
     "WorkerProfile",
     "__version__",
@@ -109,6 +117,7 @@ __all__ = [
     "create_backend",
     "crowd_labeling_objective",
     "default_simulation_population",
+    "event_to_dict",
     "full_clamshell",
     "generate_medical_trace",
     "make_cifar_like",
@@ -117,7 +126,10 @@ __all__ = [
     "make_learner",
     "make_mnist_like",
     "register_backend",
+    "spec_from_dict",
+    "spec_to_dict",
     "speedup_factor",
+    "stats_to_dict",
     "summarize_trace",
     "variance_reduction_factor",
 ]

@@ -54,6 +54,25 @@ _ENGINE_EXPORTS = frozenset(
     }
 )
 
+#: Names served lazily from :mod:`repro.api.wire` (PEP 562) — the JSON wire
+#: format the HTTP service speaks.
+_WIRE_EXPORTS = frozenset(
+    {
+        "WIRE_VERSION",
+        "config_from_dict",
+        "config_to_dict",
+        "dataset_from_dict",
+        "dataset_to_dict",
+        "event_to_dict",
+        "population_from_dict",
+        "population_to_dict",
+        "result_summary",
+        "spec_from_dict",
+        "spec_to_dict",
+        "stats_to_dict",
+    }
+)
+
 __all__ = [
     "BackendFactory",
     "CrowdBackend",
@@ -65,12 +84,24 @@ __all__ = [
     "LabelingJob",
     "ProgressEvent",
     "ProgressKind",
+    "WIRE_VERSION",
     "available_backends",
     "backend_factory",
     "build_run",
     "collect_stats",
+    "config_from_dict",
+    "config_to_dict",
     "create_backend",
+    "dataset_from_dict",
+    "dataset_to_dict",
+    "event_to_dict",
+    "population_from_dict",
+    "population_to_dict",
     "register_backend",
+    "result_summary",
+    "spec_from_dict",
+    "spec_to_dict",
+    "stats_to_dict",
     "unregister_backend",
 ]
 
@@ -80,8 +111,12 @@ def __getattr__(name: str) -> Any:
         from . import engine
 
         return getattr(engine, name)
+    if name in _WIRE_EXPORTS:
+        from . import wire
+
+        return getattr(wire, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def __dir__() -> list[str]:
-    return sorted(set(globals()) | _ENGINE_EXPORTS)
+    return sorted(set(globals()) | _ENGINE_EXPORTS | _WIRE_EXPORTS)

@@ -88,8 +88,38 @@ class JobSpec:
         return self.config.seed if self.seed is None else self.seed
 
     def with_overrides(self, **kwargs: Any) -> "JobSpec":
-        """A copy of this spec with the given fields replaced."""
+        """A copy of this spec with the given fields replaced.
+
+        Raises ``TypeError`` naming any key that is not a ``JobSpec`` field,
+        so a typo'd override fails loudly instead of vanishing.
+        """
+        valid = {spec_field.name for spec_field in dataclasses.fields(self)}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise TypeError(
+                f"JobSpec.with_overrides() got unknown field(s) "
+                f"{', '.join(map(repr, unknown))}; "
+                f"valid fields: {', '.join(sorted(valid))}"
+            )
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Serialise to the versioned JSON wire format (:mod:`repro.api.wire`).
+
+        Raises ``ValueError`` if the spec holds process-local state the wire
+        cannot carry (``learner_factory``, ``decision_latency``, or a
+        dataset/population without generation provenance).
+        """
+        from .wire import spec_to_dict
+
+        return spec_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        """Rebuild a spec from its wire document (see :mod:`repro.api.wire`)."""
+        from .wire import spec_from_dict
+
+        return spec_from_dict(data)
 
 
 def build_run(spec: JobSpec) -> tuple[CrowdBackend, Batcher]:
@@ -201,8 +231,10 @@ class LabelingJob:
         "_cond": ("_events", "_status", "_result", "_error"),
     }
 
-    def __init__(self, spec: JobSpec, job_id: int) -> None:
+    def __init__(self, spec: JobSpec, job_id: str) -> None:
         self.spec = spec
+        #: Engine-allocated string id (``"job-<n>"``); the registry key a
+        #: service client uses to address this job over the wire.
         self.job_id = job_id
         #: The batcher/platform of the (last) execution, for inspection.
         self.batcher: Optional[Batcher] = None
@@ -215,7 +247,7 @@ class LabelingJob:
 
     @property
     def name(self) -> str:
-        return self.spec.name or f"job-{self.job_id}"
+        return self.spec.name or self.job_id
 
     @property
     def status(self) -> JobStatus:
@@ -231,17 +263,26 @@ class LabelingJob:
         with self._cond:
             return list(self._events)
 
-    def stream(self) -> Iterator[ProgressEvent]:
+    def stream(
+        self, stop: Optional[threading.Event] = None
+    ) -> Iterator[ProgressEvent]:
         """Yield progress events as the run advances.
 
         Replays history for late subscribers, then blocks until new events
         arrive; ends when the run finishes.  Raises the job's error if the
         run failed.
+
+        ``stop`` (optional) ends the stream early: once the event is set and
+        the waiting consumer is woken (:meth:`interrupt_streams`), iteration
+        returns cleanly instead of blocking for more events.  This is how a
+        shutting-down service terminates in-flight SSE streams.
         """
         cursor = 0
         while True:
             with self._cond:
                 while cursor >= len(self._events) and not self._is_done_locked():
+                    if stop is not None and stop.is_set():
+                        return
                     self._cond.wait()
                 pending = self._events[cursor:]
                 cursor = len(self._events)
@@ -280,6 +321,16 @@ class LabelingJob:
         result = self.result(timeout=timeout)
         assert self.platform is not None
         return collect_stats(self.platform, result)
+
+    def interrupt_streams(self) -> None:
+        """Wake every consumer blocked in :meth:`stream`.
+
+        Pairs with the ``stop`` event: set the event first, then call this —
+        woken consumers re-check it under the condition, so there is no
+        missed-wakeup window.
+        """
+        with self._cond:
+            self._cond.notify_all()
 
     # -- engine-side plumbing ---------------------------------------------
 
@@ -321,7 +372,13 @@ class Engine:
     #: ``_job_ids`` is deliberately unguarded: ``itertools.count`` is atomic
     #: under the GIL and ids only need uniqueness, not ordering.
     _GUARDED_BY: ClassVar[Mapping[str, tuple[str, ...]]] = {
-        "_lock": ("_executor", "_closed", "_running", "concurrency_high_water"),
+        "_lock": (
+            "_executor",
+            "_closed",
+            "_running",
+            "_jobs",
+            "concurrency_high_water",
+        ),
     }
 
     def __init__(self, max_workers: int = 4) -> None:
@@ -332,6 +389,9 @@ class Engine:
         self._closed = False
         self._lock = threading.Lock()
         self._job_ids = itertools.count()
+        #: Submitted jobs by string id, in submission order — the registry a
+        #: service front end resolves wire job-ids against.
+        self._jobs: dict[str, LabelingJob] = {}
         self._running = 0
         #: Highest number of jobs observed executing simultaneously.
         self.concurrency_high_water = 0
@@ -340,12 +400,8 @@ class Engine:
 
     def stream(self, spec: JobSpec) -> Iterator[ProgressEvent]:
         """Execute ``spec`` inline, yielding progress events as it runs."""
-        _, batcher = build_run(spec)
-        return batcher.run_iter(
-            num_records=spec.num_records,
-            accuracy_target=spec.accuracy_target,
-            max_batches=spec.max_batches,
-        )
+        _, _, events = self._open_run(spec)
+        return events
 
     def run(
         self,
@@ -357,7 +413,7 @@ class Engine:
         ``on_event`` (optional) observes every progress event as it is
         produced — the streaming and blocking APIs share one code path.
         """
-        return drain_stream(self.stream(spec), on_event=on_event)
+        return self._run_collect(spec, on_event=on_event)[0]
 
     def run_with_stats(
         self,
@@ -370,23 +426,29 @@ class Engine:
         platform's event/cost counters without callers reaching into the
         backend's internals.
         """
-        platform, batcher = build_run(spec)
-        result = drain_stream(
-            batcher.run_iter(
-                num_records=spec.num_records,
-                accuracy_target=spec.accuracy_target,
-                max_batches=spec.max_batches,
-            ),
-            on_event=on_event,
-        )
-        return result, collect_stats(platform, result)
+        return self._run_collect(spec, on_event=on_event)
 
     # -- concurrent execution ---------------------------------------------
 
     def submit(self, spec: JobSpec) -> LabelingJob:
-        """Schedule ``spec`` on the thread pool and return its job handle."""
-        job = LabelingJob(spec, job_id=next(self._job_ids))
-        self._ensure_executor().submit(self._run_job, job)
+        """Schedule ``spec`` on the thread pool and return its job handle.
+
+        The job is registered under its engine-allocated string id; it stays
+        reachable via :meth:`get_job` / :meth:`jobs` until :meth:`forget_job`
+        drops it.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed Engine")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-engine",
+                )
+            executor = self._executor
+            job = LabelingJob(spec, job_id=f"job-{next(self._job_ids)}")
+            self._jobs[job.job_id] = job
+        executor.submit(self._run_job, job)
         return job
 
     def submit_many(self, specs: Sequence[JobSpec]) -> list[LabelingJob]:
@@ -403,15 +465,9 @@ class Engine:
         cannot be cancelled); resubmit with handles via :meth:`submit_many`
         if you need to keep observing them.
         """
-        jobs = self.submit_many(specs)
-        # repro: allow[REPRO-D104] -- caller-facing timeout deadlines; never sim state
-        deadline = None if timeout is None else time.monotonic() + timeout
-        results = []
-        for job in jobs:
-            # repro: allow[REPRO-D104] -- remaining wall-clock budget for result()
-            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
-            results.append(job.result(timeout=remaining))
-        return results
+        return self._await_jobs(
+            self.submit_many(specs), timeout=timeout, with_stats=False
+        )
 
     def run_many_with_stats(
         self, specs: Sequence[JobSpec], timeout: Optional[float] = None
@@ -424,15 +480,38 @@ class Engine:
         platform each), so the aggregate is deterministic regardless of how
         the thread pool interleaves them.
         """
-        jobs = self.submit_many(specs)
-        # repro: allow[REPRO-D104] -- caller-facing timeout deadlines; never sim state
-        deadline = None if timeout is None else time.monotonic() + timeout
-        paired: list[tuple[RunResult, ExecutionStats]] = []
-        for job in jobs:
-            # repro: allow[REPRO-D104] -- remaining wall-clock budget for result()
-            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
-            paired.append((job.result(timeout=remaining), job.stats()))
-        return paired
+        return self._await_jobs(
+            self.submit_many(specs), timeout=timeout, with_stats=True
+        )
+
+    # -- job registry -------------------------------------------------------
+
+    def get_job(self, job_id: str) -> LabelingJob:
+        """Look up a submitted job by its string id (``KeyError`` if unknown)."""
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"unknown job id: {job_id!r}") from None
+
+    def jobs(self) -> list[LabelingJob]:
+        """All registered jobs, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    def forget_job(self, job_id: str) -> LabelingJob:
+        """Drop a job from the registry and return its handle.
+
+        The handle stays valid — an in-flight run keeps executing and can
+        still be observed through it — but the id no longer resolves, so the
+        engine releases its reference (and a service stops serving it).
+        Raises ``KeyError`` for unknown ids.
+        """
+        with self._lock:
+            try:
+                return self._jobs.pop(job_id)
+            except KeyError:
+                raise KeyError(f"unknown job id: {job_id!r}") from None
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -457,16 +536,51 @@ class Engine:
 
     # -- internals ----------------------------------------------------------
 
-    def _ensure_executor(self) -> ThreadPoolExecutor:
-        with self._lock:
-            if self._closed:
-                raise RuntimeError("cannot submit to a closed Engine")
-            if self._executor is None:
-                self._executor = ThreadPoolExecutor(
-                    max_workers=self.max_workers,
-                    thread_name_prefix="repro-engine",
-                )
-            return self._executor
+    def _open_run(
+        self, spec: JobSpec
+    ) -> tuple[CrowdBackend, Batcher, Iterator[ProgressEvent]]:
+        """Wire one execution of ``spec`` and open its event stream.
+
+        Single construction point shared by every execution path — inline
+        (:meth:`stream` / :meth:`run` / :meth:`run_with_stats`) and pooled
+        (:meth:`_run_job`) — so the run parameters are plumbed exactly once.
+        """
+        platform, batcher = build_run(spec)
+        events = batcher.run_iter(
+            num_records=spec.num_records,
+            accuracy_target=spec.accuracy_target,
+            max_batches=spec.max_batches,
+        )
+        return platform, batcher, events
+
+    def _run_collect(
+        self,
+        spec: JobSpec,
+        on_event: Optional[Callable[[ProgressEvent], None]] = None,
+    ) -> tuple[RunResult, ExecutionStats]:
+        """Execute ``spec`` inline and collect (result, stats) — the single
+        blocking-execution path behind :meth:`run` and :meth:`run_with_stats`."""
+        platform, _, events = self._open_run(spec)
+        result = drain_stream(events, on_event=on_event)
+        return result, collect_stats(platform, result)
+
+    def _await_jobs(
+        self,
+        jobs: Sequence[LabelingJob],
+        timeout: Optional[float],
+        with_stats: bool,
+    ) -> list[Any]:
+        """Collect submitted jobs in order under one shared deadline — the
+        single wait loop behind :meth:`run_many` and :meth:`run_many_with_stats`."""
+        # repro: allow[REPRO-D104] -- caller-facing timeout deadlines; never sim state
+        deadline = None if timeout is None else time.monotonic() + timeout
+        collected: list[Any] = []
+        for job in jobs:
+            # repro: allow[REPRO-D104] -- remaining wall-clock budget for result()
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            result = job.result(timeout=remaining)
+            collected.append((result, job.stats()) if with_stats else result)
+        return collected
 
     def _run_job(self, job: LabelingJob) -> None:
         with self._lock:
@@ -476,17 +590,10 @@ class Engine:
             )
         job._mark_running()
         try:
-            platform, batcher = build_run(job.spec)
+            platform, batcher, events = self._open_run(job.spec)
             job.platform = platform
             job.batcher = batcher
-            result = drain_stream(
-                batcher.run_iter(
-                    num_records=job.spec.num_records,
-                    accuracy_target=job.spec.accuracy_target,
-                    max_batches=job.spec.max_batches,
-                ),
-                on_event=job._emit,
-            )
+            result = drain_stream(events, on_event=job._emit)
             job._finish(result)
         except BaseException as error:  # surface failures through the handle
             job._fail(error)

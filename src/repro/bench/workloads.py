@@ -394,3 +394,88 @@ def concurrency_workload(
         "concurrency_high_water": high_water,
     }
     return _outcome(stats, details)
+
+
+@register_workload(
+    "service",
+    description="HTTP/SSE labeling service under N concurrent clients",
+    defaults={
+        "num_clients": 8,
+        "jobs_per_client": 2,
+        "num_records": 40,
+        "pool_size": 6,
+    },
+)
+def service_workload(
+    seed: int = 0,
+    num_clients: int = 8,
+    jobs_per_client: int = 2,
+    num_records: int = 40,
+    pool_size: int = 6,
+) -> WorkloadOutcome:
+    """Labeling-as-a-service under load: a live HTTP server on an ephemeral
+    port, ``num_clients`` threads each submitting ``jobs_per_client`` jobs
+    over the wire and following every read endpoint (SSE stream to
+    completion, paginated labels, final status).
+
+    Every job carries its own seed through the JSON wire document, so the
+    labels/cost outcome is a pure function of (seed, params) no matter how
+    requests interleave — that is the fingerprint the determinism check
+    pins.  Requests/sec and latency percentiles are wall-clock and live in
+    ``details`` only; ``requests_per_second`` is the gate-facing throughput
+    headline for this workload.
+    """
+    from ..service import LabelingService, run_load, start_server
+
+    payloads = []
+    for client in range(num_clients):
+        client_payloads = []
+        for job in range(jobs_per_client):
+            job_seed = seed + 1000 * (client * jobs_per_client + job)
+            client_payloads.append(
+                {
+                    "dataset": {
+                        "generator": "labeling_workload",
+                        "params": {
+                            "num_records": 2 * num_records,
+                            "seed": job_seed,
+                        },
+                    },
+                    "config": {
+                        "pool_size": pool_size,
+                        "straggler_mitigation": True,
+                        "maintenance_threshold": None,
+                        "learning_strategy": LearningStrategy.NONE.value,
+                        "seed": job_seed,
+                    },
+                    "population": {"factory": "mixed_speed", "seed": job_seed},
+                    "num_records": num_records,
+                    "name": f"service-{client}-{job}",
+                }
+            )
+        payloads.append(client_payloads)
+
+    service = LabelingService(max_workers=num_clients)
+    server = start_server(service, port=0)
+    try:
+        host, port = server.server_address[:2]
+        report = run_load(host, port, payloads)
+        stats = [
+            service.engine.get_job(job_id).stats() for job_id in report.job_ids
+        ]
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    details = {
+        "num_clients": num_clients,
+        "jobs_per_client": jobs_per_client,
+        # Wall-clock observations: details only (not in the fingerprint).
+        "requests": report.requests,
+        "requests_per_second": report.requests_per_second,
+        "latency_ms_p50": report.latency_ms(0.50),
+        "latency_ms_p99": report.latency_ms(0.99),
+        "events_streamed": report.events_streamed,
+        "stream_seconds_max": max(report.stream_seconds, default=0.0),
+    }
+    return _outcome(stats, details)

@@ -8,6 +8,7 @@ Usage::
     python -m repro bench scale --json BENCH_scale.json --repeat 3
     python -m repro bench concurrency --json BENCH_concurrency.json
     python -m repro bench compare baselines/BENCH_scale.json BENCH_scale.json
+    python -m repro serve --port 8080
     python -m repro lint src tests benchmarks
 
 Each experiment name maps to one paper artifact (see DESIGN.md); ``run``
@@ -347,6 +348,41 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve the labeling engine over HTTP (jobs, labels, SSE progress)",
+        description=(
+            "Start the labeling-as-a-service HTTP front end: POST /jobs "
+            "submits a JSON JobSpec document, GET /jobs[/{id}] reports "
+            "status and stats, GET /jobs/{id}/labels paginates results, "
+            "GET /jobs/{id}/events streams live progress via SSE, and "
+            "DELETE /jobs/{id} unregisters a job.  Serves until interrupted."
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="bind port; 0 picks an ephemeral port (default 8080)",
+    )
+    serve_parser.add_argument(
+        "--max-workers",
+        type=int,
+        default=8,
+        help="engine thread-pool size for concurrent jobs (default 8)",
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    return serve(host=args.host, port=args.port, max_workers=args.max_workers)
+
+
 def _add_lint_parser(subparsers: argparse._SubParsersAction) -> None:
     from .lint import add_lint_arguments
 
@@ -408,6 +444,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_bench_parser(subparsers)
+    _add_serve_parser(subparsers)
     _add_lint_parser(subparsers)
     return parser
 
@@ -420,6 +457,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "lint":
         return _run_lint(args)
     description, runner = EXPERIMENTS[args.experiment]

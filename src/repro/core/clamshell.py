@@ -203,11 +203,13 @@ class CLAMShell:
            Platforms are now created through the crowd-backend registry; use
            ``repro.api.create_backend(config.backend, ...)`` or submit a
            :meth:`to_job_spec` to an :class:`~repro.api.engine.Engine`.
+           **Scheduled for removal in v2.0.**
         """
         warnings.warn(
-            "CLAMShell.build_platform() is deprecated; platforms are created "
-            "through the repro.api backend registry (create_backend) or by "
-            "submitting to_job_spec() to an Engine",
+            "CLAMShell.build_platform() is deprecated and will be removed in "
+            "v2.0; platforms are created through the repro.api backend "
+            "registry (create_backend) or by submitting to_job_spec() to an "
+            "Engine",
             DeprecationWarning,
             stacklevel=2,
         )
@@ -226,11 +228,12 @@ class CLAMShell:
         .. deprecated:: 1.1
            Superseded by the engine API: submit :meth:`to_job_spec` to an
            :class:`~repro.api.engine.Engine`, or use :meth:`run_iter` for the
-           event stream.
+           event stream.  **Scheduled for removal in v2.0.**
         """
         warnings.warn(
-            "CLAMShell.build_batcher() is deprecated; submit to_job_spec() to "
-            "a repro.api Engine, or use CLAMShell.run_iter() for streaming",
+            "CLAMShell.build_batcher() is deprecated and will be removed in "
+            "v2.0; submit to_job_spec() to a repro.api Engine, or use "
+            "CLAMShell.run_iter() for streaming",
             DeprecationWarning,
             stacklevel=2,
         )

@@ -303,7 +303,14 @@ def default_simulation_population(seed: int = 0, fast_pool: bool = False) -> Wor
             relative_std=0.5,
             relative_std_noise=0.4,
         )
-    return WorkerPopulation(parameters=params, seed=seed)
+    population = WorkerPopulation(parameters=params, seed=seed)
+    # Factory provenance for the JSON wire format (repro.api.wire): the
+    # "fast" registry entry is exactly this function with fast_pool=True.
+    population.wire_source = {
+        "factory": "fast" if fast_pool else "default",
+        "seed": seed,
+    }
+    return population
 
 
 def latency_floor() -> float:

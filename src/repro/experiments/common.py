@@ -48,6 +48,14 @@ def make_labeling_workload(
         train_indices=indices,
         test_indices=indices[: max(1, num_records // 10)],
         num_classes=num_classes,
+        source={
+            "generator": "labeling_workload",
+            "params": {
+                "num_records": num_records,
+                "num_classes": num_classes,
+                "seed": seed,
+            },
+        },
     )
 
 
@@ -59,7 +67,7 @@ def mixed_speed_population(seed: int = 0) -> WorkerPopulation:
     mitigation have the most to gain (matching the Figure 5/8 latency
     buckets: fast < 4 s, medium 5-7 s, slow >= 8 s per label).
     """
-    return WorkerPopulation(
+    population = WorkerPopulation(
         parameters=PopulationParameters(
             log_mean_latency=np.log(8.0),
             log_std_latency=0.8,
@@ -68,6 +76,8 @@ def mixed_speed_population(seed: int = 0) -> WorkerPopulation:
         ),
         seed=seed,
     )
+    population.wire_source = {"factory": "mixed_speed", "seed": seed}
+    return population
 
 
 def fast_population(seed: int = 0) -> WorkerPopulation:

@@ -45,6 +45,11 @@ class Dataset:
     train_indices: np.ndarray
     test_indices: np.ndarray
     num_classes: int
+    #: Generation provenance — ``{"generator": <registered name>, "params":
+    #: {...}}`` — recorded by the built-in generators so the dataset can be
+    #: rebuilt deterministically elsewhere (the wire format serialises this
+    #: recipe instead of the arrays).  ``None`` for hand-assembled datasets.
+    source: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.X.shape[0] != self.y.shape[0]:
@@ -122,6 +127,22 @@ def make_classification(
     and ``n_redundant`` to a quarter of the informative count, so any feature
     count yields a valid configuration without extra arguments.
     """
+    source = {
+        "generator": "classification",
+        "params": {
+            "n_samples": n_samples,
+            "n_features": n_features,
+            "n_informative": n_informative,
+            "n_redundant": n_redundant,
+            "n_classes": n_classes,
+            "class_sep": class_sep,
+            "flip_y": flip_y,
+            "clusters_per_class": clusters_per_class,
+            "test_fraction": test_fraction,
+            "seed": seed,
+            "name": name,
+        },
+    }
     if n_informative is None:
         n_informative = min(32, max(2, n_features // 2))
     if n_redundant is None:
@@ -208,6 +229,7 @@ def make_classification(
         train_indices=train_idx,
         test_indices=test_idx,
         num_classes=n_classes,
+        source=source,
     )
 
 

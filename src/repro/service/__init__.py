@@ -1,0 +1,39 @@
+"""repro.service — labeling-as-a-service: an HTTP/SSE front end over the Engine.
+
+Zero new dependencies: the server is stdlib ``http.server.ThreadingHTTPServer``
+with a thin routing/JSON layer, and the wire format it speaks is
+:mod:`repro.api.wire`.  The split mirrors the rest of the codebase:
+
+* :class:`LabelingService` (``app.py``) — transport-free service operations
+  over an :class:`~repro.api.engine.Engine`: submit/list/inspect/delete jobs,
+  paginate labels, open stoppable event streams, and shut down gracefully;
+* :class:`ServiceHTTPServer` / :func:`serve` / :func:`start_server`
+  (``server.py``) — the HTTP layer: routing, JSON envelopes, SSE framing,
+  ``ETag``/``Cache-Control`` on terminal reads;
+* :func:`run_load` (``loadgen.py``) — the concurrent-client load generator
+  behind the ``service`` bench workload.
+
+Endpoints::
+
+    POST    /jobs                submit a JSON JobSpec document
+    GET     /jobs                list registered jobs
+    GET     /jobs/{id}           job status (+ result/stats when finished)
+    GET     /jobs/{id}/labels    paginated labels (?offset=&limit=)
+    GET     /jobs/{id}/events    live progress via SSE
+    DELETE  /jobs/{id}           unregister a job
+    GET     /healthz             liveness + version
+"""
+
+from .app import JobNotFound, LabelingService
+from .loadgen import LoadReport, run_load
+from .server import ServiceHTTPServer, serve, start_server
+
+__all__ = [
+    "JobNotFound",
+    "LabelingService",
+    "LoadReport",
+    "ServiceHTTPServer",
+    "run_load",
+    "serve",
+    "start_server",
+]

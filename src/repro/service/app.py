@@ -1,0 +1,234 @@
+"""Transport-free service operations over an :class:`Engine`.
+
+:class:`LabelingService` is everything the HTTP layer does that is not HTTP:
+it validates and executes wire documents against an engine, shapes job
+summaries/label pages as JSON-ready dicts, and owns the shutdown protocol
+that lets in-flight event streams terminate cleanly.  Keeping it free of
+sockets makes the behaviour directly unit-testable; ``server.py`` only maps
+these methods onto routes and status codes.
+
+Concurrency: one instance is shared by every request-handler thread.  The
+engine's job registry is lock-guarded internally; the only state added here
+is the per-job stop events in ``_stops`` and the ``_shutdown`` flag — single
+dict/Event operations that are atomic under the GIL, with the stream-side
+re-check under the job's condition (see
+:meth:`LabelingJob.interrupt_streams`) closing the wakeup race.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Mapping, Optional
+
+from ..api.engine import Engine, JobStatus, LabelingJob
+from ..api.wire import (
+    event_to_dict,
+    result_summary,
+    spec_from_dict,
+    spec_to_dict,
+    stats_to_dict,
+)
+
+_TERMINAL = (JobStatus.SUCCEEDED, JobStatus.FAILED)
+
+
+class JobNotFound(KeyError):
+    """A job id that does not resolve in the engine's registry (HTTP 404)."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(job_id)
+        self.job_id = job_id
+
+    def __str__(self) -> str:
+        return f"unknown job id: {self.job_id!r}"
+
+
+class LabelingService:
+    """Submit, observe, and tear down labeling jobs for remote clients.
+
+    Constructed without an engine, the service owns a private one (and
+    closes it on :meth:`close`); pass an engine to layer the service over
+    jobs you also drive in-process — the caller then keeps ownership and
+    :meth:`close` only stops the service's streams.
+    """
+
+    def __init__(
+        self, engine: Optional[Engine] = None, max_workers: int = 8
+    ) -> None:
+        self._engine = engine if engine is not None else Engine(max_workers=max_workers)
+        self._owns_engine = engine is None
+        self._shutdown = threading.Event()
+        #: Per-job stream-stop events; DELETE sets one, close() sets all.
+        self._stops: dict[str, threading.Event] = {}
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    # -- job lifecycle ------------------------------------------------------
+
+    def submit(self, payload: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate a wire document, schedule the job, and describe it.
+
+        Raises ``ValueError`` (HTTP 400) on malformed documents and
+        ``RuntimeError`` once the service is shutting down.
+        """
+        if self._shutdown.is_set():
+            raise RuntimeError("service is shutting down; not accepting jobs")
+        spec = spec_from_dict(payload)
+        job = self._engine.submit(spec)
+        self._stops[job.job_id] = threading.Event()
+        return self.job_summary(job)
+
+    def list_jobs(self) -> dict[str, Any]:
+        """All registered jobs, newest last (submission order)."""
+        return {"jobs": [self.job_summary(job) for job in self._engine.jobs()]}
+
+    def get_job(self, job_id: str) -> dict[str, Any]:
+        """One job's summary (:class:`JobNotFound` if the id is unknown)."""
+        return self.job_summary(self._job(job_id))
+
+    def delete(self, job_id: str) -> dict[str, Any]:
+        """Unregister a job and end its open event streams.
+
+        The underlying run cannot be cancelled (threads), but the id stops
+        resolving immediately and streaming clients see end-of-stream.
+        """
+        try:
+            job = self._engine.forget_job(job_id)
+        except KeyError:
+            raise JobNotFound(job_id) from None
+        stop = self._stops.pop(job_id, None)
+        if stop is not None:
+            stop.set()
+        job.interrupt_streams()
+        return {"id": job_id, "deleted": True}
+
+    # -- observation --------------------------------------------------------
+
+    def job_summary(self, job: LabelingJob) -> dict[str, Any]:
+        """JSON-ready description of a job's current state.
+
+        Always carries id/name/status/progress; terminal jobs add the result
+        summary and simulator stats (or the error).  The spec echo is best
+        effort: specs submitted in-process may hold unserialisable state, in
+        which case ``"spec"`` is ``null`` rather than the call failing.
+        """
+        status = job.status
+        events = job.events()
+        last = events[-1] if events else None
+        summary: dict[str, Any] = {
+            "id": job.job_id,
+            "name": job.name,
+            "status": status.value,
+            "events_emitted": len(events),
+            "records_labeled": last.records_labeled if last is not None else 0,
+            "terminal": status in _TERMINAL,
+        }
+        try:
+            summary["spec"] = spec_to_dict(job.spec)
+        except ValueError:
+            summary["spec"] = None
+        if status is JobStatus.SUCCEEDED:
+            result = job.result()
+            summary["result"] = result_summary(result)
+            summary["stats"] = stats_to_dict(job.stats())
+        elif status is JobStatus.FAILED:
+            try:
+                job.result()
+            except BaseException as error:
+                summary["error"] = repr(error)
+        return summary
+
+    def labels_page(
+        self, job_id: str, offset: int = 0, limit: Optional[int] = None
+    ) -> dict[str, Any]:
+        """One page of the job's labels, ordered by record id.
+
+        For finished jobs this is the final consensus label set; for a
+        running job it is the labels accumulated from progress events so
+        far (later batches override earlier ones for the same record).
+        ``offset`` past the end yields an empty page; ``limit=0`` is a
+        valid "count only" probe; negatives raise ``ValueError`` (400).
+        """
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be >= 0, got {limit}")
+        job = self._job(job_id)
+        status = job.status
+        if status is JobStatus.SUCCEEDED:
+            labels = dict(job.result().labels)
+        else:
+            labels = {}
+            for event in job.events():
+                labels.update(event.new_labels)
+        ordered = sorted(labels.items())
+        end = len(ordered) if limit is None else offset + limit
+        page = ordered[offset:end]
+        return {
+            "job_id": job.job_id,
+            "status": status.value,
+            "terminal": status in _TERMINAL,
+            "total": len(ordered),
+            "offset": offset,
+            "limit": limit,
+            "labels": [[int(record), int(label)] for record, label in page],
+        }
+
+    def events(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Open a live event stream as JSON-ready dicts.
+
+        Resolves the id eagerly (so unknown jobs 404 before any bytes are
+        streamed), then yields :func:`event_to_dict` frames as the run
+        advances.  The stream ends when the run finishes, the job is
+        deleted, or the service shuts down; a failed run ends with a
+        synthetic ``job_failed`` frame instead of raising mid-stream.
+        """
+        job = self._job(job_id)
+        stop = self._stops.get(job_id, self._shutdown)
+        return self._event_frames(job, stop)
+
+    @staticmethod
+    def _event_frames(
+        job: LabelingJob, stop: threading.Event
+    ) -> Iterator[dict[str, Any]]:
+        try:
+            for event in job.stream(stop=stop):
+                yield event_to_dict(event)
+        except GeneratorExit:
+            raise
+        except BaseException as error:  # failed run: end the stream in-band
+            yield {"kind": "job_failed", "error": repr(error)}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting jobs and terminate in-flight event streams.
+
+        Stop events are set *before* the wakeups, so a streaming consumer
+        either sees the flag on its re-check or was already past the wait —
+        no missed-wakeup window.  The engine is closed only if this service
+        created it.
+        """
+        self._shutdown.set()
+        for stop in list(self._stops.values()):
+            stop.set()
+        for job in self._engine.jobs():
+            job.interrupt_streams()
+        if self._owns_engine:
+            self._engine.close(wait=wait)
+
+    def __enter__(self) -> "LabelingService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals ----------------------------------------------------------
+
+    def _job(self, job_id: str) -> LabelingJob:
+        try:
+            return self._engine.get_job(job_id)
+        except KeyError:
+            raise JobNotFound(job_id) from None

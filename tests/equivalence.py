@@ -115,6 +115,33 @@ def run_fingerprint(
     }
 
 
+def spec_fingerprint(spec: JobSpec) -> dict[str, Any]:
+    """One full engine-path execution of ``spec``, reduced to the behavioural
+    fields that must be bit-identical across equivalent specs.
+
+    This is what the wire-format round-trip property test pins: a spec
+    rebuilt from its JSON document must fingerprint identically to the
+    original.  Populations are stateful (their RNG advances per draw), so
+    callers must pass a freshly built spec per execution — never fingerprint
+    the same spec instance twice expecting equal results.
+    """
+    platform, batcher = build_run(spec)
+    result = drain_stream(
+        batcher.run_iter(
+            num_records=spec.num_records,
+            accuracy_target=spec.accuracy_target,
+            max_batches=spec.max_batches,
+        )
+    )
+    return {
+        "labels": result.labels,
+        "counters": dataclasses.asdict(platform.counters),
+        "sim_seconds": platform.now,
+        "total_cost": result.total_cost,
+        "events_processed": platform.queue.events_processed,
+    }
+
+
 def behavioural_view(fingerprint: dict[str, Any]) -> dict[str, Any]:
     """The gate-independent part of a fingerprint (everything but probes)."""
     return {key: value for key, value in fingerprint.items() if key != "probes"}

@@ -232,6 +232,69 @@ class TestEngineLifecycle:
         assert engine.run(spec).metrics.records_labeled == 5
 
 
+class TestJobRegistry:
+    def test_submitted_jobs_get_string_ids_and_are_listed_in_order(self, dataset):
+        with Engine(max_workers=2) as engine:
+            jobs = [
+                engine.submit(
+                    JobSpec(
+                        dataset=dataset,
+                        config=full_clamshell(pool_size=4, seed=seed),
+                        population=make_population(seed),
+                        num_records=5,
+                        name=f"registry-{seed}",
+                    )
+                )
+                for seed in range(3)
+            ]
+            for job in jobs:
+                assert isinstance(job.job_id, str)
+                assert engine.get_job(job.job_id) is job
+            assert engine.jobs() == jobs
+            for job in jobs:
+                job.result(timeout=60)
+
+    def test_forget_job_removes_exactly_one(self, dataset):
+        with Engine(max_workers=1) as engine:
+            job = engine.submit(JobSpec(dataset=dataset, num_records=5))
+            job.result(timeout=60)
+            forgotten = engine.forget_job(job.job_id)
+            assert forgotten is job
+            assert engine.jobs() == []
+            with pytest.raises(KeyError, match=job.job_id):
+                engine.get_job(job.job_id)
+            with pytest.raises(KeyError, match=job.job_id):
+                engine.forget_job(job.job_id)
+
+    def test_unknown_job_id_named_in_error(self):
+        with Engine(max_workers=1) as engine:
+            with pytest.raises(KeyError, match="job-999"):
+                engine.get_job("job-999")
+
+    def test_job_name_falls_back_to_id(self, dataset):
+        with Engine(max_workers=1) as engine:
+            anonymous = engine.submit(JobSpec(dataset=dataset, num_records=5))
+            named = engine.submit(
+                JobSpec(dataset=dataset, num_records=5, name="picked")
+            )
+            assert anonymous.name == anonymous.job_id
+            assert named.name == "picked"
+            anonymous.result(timeout=60)
+            named.result(timeout=60)
+
+
+class TestWithOverrides:
+    def test_unknown_field_raises_type_error_naming_it(self, dataset):
+        spec = JobSpec(dataset=dataset, num_records=5)
+        with pytest.raises(TypeError, match="num_recordz"):
+            spec.with_overrides(num_recordz=7)
+
+    def test_valid_override_replaces_field(self, dataset):
+        spec = JobSpec(dataset=dataset, num_records=5)
+        assert spec.with_overrides(num_records=9).num_records == 9
+        assert spec.num_records == 5
+
+
 class TestLegacySubclassHooks:
     def test_overridden_build_platform_is_still_honoured(self, dataset):
         calls = []

@@ -1,0 +1,387 @@
+"""Tests for repro.service: HTTP routes, pagination, caching, SSE, shutdown.
+
+Each test drives a real ``ThreadingHTTPServer`` on an ephemeral port through
+``http.client`` — the same transport real clients use — so routing, headers,
+and SSE framing are exercised end to end, not mocked.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+from contextlib import contextmanager
+
+import pytest
+
+from repro.api import create_backend, register_backend, unregister_backend
+from repro.api.engine import Engine, JobStatus
+from repro.api.wire import event_to_dict, spec_from_dict
+from repro.service import JobNotFound, LabelingService, start_server
+
+
+def job_payload(seed: int = 0, num_records: int = 10, **extra) -> dict:
+    """A small, fully deterministic wire document."""
+    payload = {
+        "dataset": {
+            "generator": "labeling_workload",
+            "params": {"num_records": 2 * num_records, "seed": seed},
+        },
+        "config": {
+            "pool_size": 4,
+            "learning_strategy": "none",
+            "maintenance_threshold": None,
+            "seed": seed,
+        },
+        "population": {"factory": "mixed_speed", "seed": seed},
+        "num_records": num_records,
+        "name": f"test-{seed}",
+    }
+    payload.update(extra)
+    return payload
+
+
+def request(host, port, method, path, body=None, headers=None):
+    """One HTTP request; returns (status, parsed JSON or None, headers)."""
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        request_headers = dict(headers or {})
+        if payload is not None:
+            request_headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=payload, headers=request_headers)
+        response = conn.getresponse()
+        raw = response.read()
+        document = json.loads(raw) if raw else None
+        return response.status, document, dict(response.getheaders())
+    finally:
+        conn.close()
+
+
+def read_sse(host, port, path, timeout=120):
+    """Consume a whole SSE response; returns (status, list of data dicts)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        status = response.status
+        raw = response.read().decode("utf-8")
+    finally:
+        conn.close()
+    frames = []
+    for chunk in raw.split("\n\n"):
+        if not chunk.strip():
+            continue
+        data_lines = [
+            line[len("data: ") :]
+            for line in chunk.splitlines()
+            if line.startswith("data: ")
+        ]
+        frames.append(json.loads("\n".join(data_lines)))
+    return status, frames
+
+
+@contextmanager
+def held_backend(name: str = "held-simulated"):
+    """A simulated backend whose pool initialisation blocks on an Event,
+    pinning any job that uses it in RUNNING until released."""
+    release = threading.Event()
+    started = threading.Event()
+
+    def factory(**kwargs):
+        platform = create_backend("simulated", **kwargs)
+        original = platform.initialize_pool
+
+        def initialize_pool(size):
+            started.set()
+            assert release.wait(timeout=60), "held backend never released"
+            return original(size)
+
+        platform.initialize_pool = initialize_pool
+        return platform
+
+    register_backend(name, factory)
+    try:
+        yield name, started, release
+    finally:
+        release.set()
+        unregister_backend(name)
+
+
+@pytest.fixture()
+def live():
+    """A live service on an ephemeral port; yields (host, port, service)."""
+    service = LabelingService(max_workers=4)
+    server = start_server(service, port=0)
+    host, port = server.server_address[:2]
+    yield host, port, service
+    server.shutdown()
+    server.server_close()
+    service.close(wait=False)
+
+
+class TestServiceApp:
+    def test_unknown_ids_raise_job_not_found(self):
+        with LabelingService(max_workers=1) as service:
+            for operation in (
+                lambda: service.get_job("job-404"),
+                lambda: service.labels_page("job-404"),
+                lambda: service.events("job-404"),
+                lambda: service.delete("job-404"),
+            ):
+                with pytest.raises(JobNotFound, match="job-404"):
+                    operation()
+
+    def test_negative_pagination_rejected_before_lookup(self):
+        with LabelingService(max_workers=1) as service:
+            with pytest.raises(ValueError, match="offset"):
+                service.labels_page("whatever", offset=-1)
+            with pytest.raises(ValueError, match="limit"):
+                service.labels_page("whatever", limit=-5)
+
+    def test_submit_after_close_rejected(self):
+        service = LabelingService(max_workers=1)
+        service.close()
+        with pytest.raises(RuntimeError, match="shutting down"):
+            service.submit(job_payload())
+
+
+class TestHTTPEndpoints:
+    def test_submit_poll_labels_flow(self, live):
+        host, port, service = live
+        status, submitted, _ = request(host, port, "POST", "/jobs", body=job_payload(seed=5))
+        assert status == 201
+        job_id = submitted["id"]
+        assert submitted["status"] in ("pending", "running", "succeeded")
+
+        # Block server-side for completion, then poll the public surface.
+        service.engine.get_job(job_id).result(timeout=120)
+        status, detail, _ = request(host, port, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        assert detail["status"] == "succeeded"
+        assert detail["terminal"] is True
+        assert detail["result"]["records_labeled"] == 10
+        assert detail["stats"]["labels"] == 10
+        assert detail["spec"]["population"] == {"factory": "mixed_speed", "seed": 5}
+
+        status, listing, _ = request(host, port, "GET", "/jobs")
+        assert status == 200
+        assert [job["id"] for job in listing["jobs"]] == [job_id]
+
+        status, page, _ = request(
+            host, port, "GET", f"/jobs/{job_id}/labels?offset=0&limit=4"
+        )
+        assert status == 200
+        assert page["total"] == 10
+        assert len(page["labels"]) == 4
+        # Pages tile the label set without overlap, ordered by record id.
+        _, rest, _ = request(host, port, "GET", f"/jobs/{job_id}/labels?offset=4")
+        record_ids = [r for r, _ in page["labels"]] + [r for r, _ in rest["labels"]]
+        assert record_ids == sorted(record_ids)
+        assert len(record_ids) == 10
+
+    def test_pagination_edge_cases(self, live):
+        host, port, service = live
+        _, submitted, _ = request(host, port, "POST", "/jobs", body=job_payload(seed=6))
+        job_id = submitted["id"]
+        service.engine.get_job(job_id).result(timeout=120)
+
+        _, past_end, _ = request(
+            host, port, "GET", f"/jobs/{job_id}/labels?offset=999&limit=5"
+        )
+        assert past_end["labels"] == [] and past_end["total"] == 10
+
+        _, zero_limit, _ = request(
+            host, port, "GET", f"/jobs/{job_id}/labels?offset=0&limit=0"
+        )
+        assert zero_limit["labels"] == [] and zero_limit["total"] == 10
+
+        status, error, _ = request(
+            host, port, "GET", f"/jobs/{job_id}/labels?offset=-1"
+        )
+        assert status == 400 and "offset" in error["error"]
+
+        status, error, _ = request(
+            host, port, "GET", f"/jobs/{job_id}/labels?limit=banana"
+        )
+        assert status == 400 and "limit" in error["error"]
+
+    def test_terminal_labels_are_cacheable_with_etag(self, live):
+        host, port, service = live
+        _, submitted, _ = request(host, port, "POST", "/jobs", body=job_payload(seed=7))
+        job_id = submitted["id"]
+        service.engine.get_job(job_id).result(timeout=120)
+
+        status, _, headers = request(host, port, "GET", f"/jobs/{job_id}/labels")
+        assert status == 200
+        assert headers["Cache-Control"] == "public, max-age=86400, immutable"
+        etag = headers["ETag"]
+        assert etag.startswith('"') and etag.endswith('"')
+
+        status, body, headers = request(
+            host, port, "GET", f"/jobs/{job_id}/labels",
+            headers={"If-None-Match": etag},
+        )
+        assert status == 304 and body is None
+        assert headers["ETag"] == etag
+
+    def test_running_labels_are_no_store(self, live):
+        host, port, service = live
+        with held_backend() as (backend, started, release):
+            _, submitted, _ = request(
+                host, port, "POST", "/jobs",
+                body=job_payload(seed=8, backend=backend),
+            )
+            job_id = submitted["id"]
+            assert started.wait(timeout=60)
+            status, page, headers = request(
+                host, port, "GET", f"/jobs/{job_id}/labels"
+            )
+            assert status == 200
+            assert page["terminal"] is False
+            assert headers["Cache-Control"] == "no-store"
+            assert "ETag" not in headers
+            release.set()
+            service.engine.get_job(job_id).result(timeout=120)
+
+    def test_error_mapping(self, live):
+        host, port, _ = live
+        assert request(host, port, "GET", "/jobs/job-404")[0] == 404
+        assert request(host, port, "DELETE", "/jobs/job-404")[0] == 404
+        assert request(host, port, "GET", "/nowhere")[0] == 404
+        # Malformed documents are 400s, with the offending key named.
+        status, error, _ = request(
+            host, port, "POST", "/jobs", body={"dataset": {"generator": "nope"}}
+        )
+        assert status == 400 and "nope" in error["error"]
+        status, error, _ = request(
+            host, port, "POST", "/jobs", body=job_payload(surprise=1)
+        )
+        assert status == 400 and "surprise" in error["error"]
+
+    def test_delete_unregisters(self, live):
+        host, port, _ = live
+        _, submitted, _ = request(host, port, "POST", "/jobs", body=job_payload(seed=9))
+        job_id = submitted["id"]
+        status, body, _ = request(host, port, "DELETE", f"/jobs/{job_id}")
+        assert status == 200 and body == {"deleted": True, "id": job_id}
+        assert request(host, port, "GET", f"/jobs/{job_id}")[0] == 404
+
+    def test_healthz(self, live):
+        host, port, _ = live
+        import repro
+
+        status, body, _ = request(host, port, "GET", "/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "version": repro.__version__}
+
+
+class TestSSE:
+    def test_sse_stream_matches_engine_stream_event_for_event(self, live):
+        """The acceptance criterion: for a fixed seed, the frames served
+        over HTTP equal ``Engine.stream`` on the same wire document."""
+        host, port, service = live
+        payload = job_payload(seed=12, num_records=12)
+        _, submitted, _ = request(host, port, "POST", "/jobs", body=payload)
+        status, streamed = read_sse(host, port, f"/jobs/{submitted['id']}/events")
+        assert status == 200
+
+        expected = [
+            event_to_dict(event)
+            for event in Engine().stream(spec_from_dict(payload))
+        ]
+        assert streamed == expected
+        assert streamed[0]["kind"] == "run_started"
+        assert streamed[-1]["kind"] == "run_finished"
+
+    def test_sse_replays_history_for_late_subscribers(self, live):
+        host, port, service = live
+        _, submitted, _ = request(host, port, "POST", "/jobs", body=job_payload(seed=13))
+        job_id = submitted["id"]
+        service.engine.get_job(job_id).result(timeout=120)
+        # Job already finished: the stream still serves the full history.
+        _, frames = read_sse(host, port, f"/jobs/{job_id}/events")
+        assert frames[0]["kind"] == "run_started"
+        assert frames[-1]["kind"] == "run_finished"
+
+    def test_sse_unknown_job_is_404_not_a_stream(self, live):
+        host, port, _ = live
+        assert request(host, port, "GET", "/jobs/job-404/events")[0] == 404
+
+    def test_close_terminates_inflight_sse_stream(self):
+        """Graceful shutdown: a client blocked on a live stream sees clean
+        end-of-stream when the service closes, not a hang."""
+        with held_backend() as (backend, started, release):
+            service = LabelingService(max_workers=1)
+            server = start_server(service, port=0)
+            host, port = server.server_address[:2]
+            try:
+                _, submitted, _ = request(
+                    host, port, "POST", "/jobs",
+                    body=job_payload(seed=14, backend=backend),
+                )
+                assert started.wait(timeout=60)
+                outcome: dict = {}
+
+                def consume():
+                    outcome["frames"] = read_sse(
+                        host, port, f"/jobs/{submitted['id']}/events"
+                    )[1]
+
+                reader = threading.Thread(target=consume)
+                reader.start()
+                # The job is pinned RUNNING, so the stream cannot end on its
+                # own; close() must wake and terminate it.
+                service.close(wait=False)
+                reader.join(timeout=30)
+                assert not reader.is_alive(), "SSE stream survived close()"
+            finally:
+                release.set()
+                server.shutdown()
+                server.server_close()
+                service.close(wait=False)
+
+    def test_delete_terminates_that_jobs_stream(self, live):
+        host, port, service = live
+        with held_backend() as (backend, started, release):
+            _, submitted, _ = request(
+                host, port, "POST", "/jobs",
+                body=job_payload(seed=15, backend=backend),
+            )
+            job_id = submitted["id"]
+            assert started.wait(timeout=60)
+            outcome: dict = {}
+
+            def consume():
+                outcome["frames"] = read_sse(host, port, f"/jobs/{job_id}/events")[1]
+
+            reader = threading.Thread(target=consume)
+            reader.start()
+            request(host, port, "DELETE", f"/jobs/{job_id}")
+            reader.join(timeout=30)
+            assert not reader.is_alive(), "SSE stream survived DELETE"
+            release.set()
+
+    def test_failed_job_ends_stream_with_failure_frame(self, live):
+        host, port, service = live
+        name = "exploding-simulated"
+
+        def factory(**kwargs):
+            raise RuntimeError("backend exploded")
+
+        register_backend(name, factory)
+        try:
+            _, submitted, _ = request(
+                host, port, "POST", "/jobs", body=job_payload(seed=16, backend=name)
+            )
+            job_id = submitted["id"]
+            job = service.engine.get_job(job_id)
+            assert job.wait(timeout=60) is JobStatus.FAILED
+            _, frames = read_sse(host, port, f"/jobs/{job_id}/events")
+            assert frames[-1]["kind"] == "job_failed"
+            assert "backend exploded" in frames[-1]["error"]
+            status, detail, _ = request(host, port, "GET", f"/jobs/{job_id}")
+            assert detail["status"] == "failed"
+            assert "backend exploded" in detail["error"]
+        finally:
+            unregister_backend(name)
