@@ -9,19 +9,25 @@ The engine is the execution frontend of the redesigned API:
   ``result()`` blocks for the final :class:`~repro.core.batcher.RunResult`;
 * :class:`Engine` — ``run()`` executes a spec inline (zero thread overhead,
   what the legacy ``CLAMShell.run()`` facade delegates to), ``submit()`` /
-  ``run_many()`` execute jobs concurrently on a thread pool.
+  ``run_many()`` execute jobs concurrently on a thread pool, or — with
+  ``executor="process"`` — in shared-nothing worker processes that stream
+  coalesced event batches back over a pipe.
 
 Every execution path — facade, CLI, experiment drivers, engine — funnels
 through :func:`build_run`, which resolves the spec's backend name against the
 registry and wires a fresh :class:`~repro.core.batcher.Batcher`.  One run,
 one platform: repeated executions of the same spec are independent and
-deterministic.
+deterministic.  Because jobs are pure functions of (spec, seed), the two
+executors are interchangeable: a process-pool run replays the exact event
+sequence, labels, counters, and stats of its threaded twin (proven by the
+executor axis of ``tests/equivalence.py``).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
+import multiprocessing
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -37,7 +43,12 @@ from ..learning.datasets import Dataset
 from ..learning.learners import BaseLearner
 from ..learning.retrainer import DecisionLatencyModel
 from .backends import CrowdBackend, create_backend
-from .events import ProgressEvent, drain_stream
+from .events import (
+    DEFAULT_EMIT_BATCH,
+    ProgressEvent,
+    drain_stream,
+    drain_stream_batched,
+)
 
 
 @dataclass(frozen=True)
@@ -205,6 +216,95 @@ def collect_stats(platform: CrowdBackend, result: RunResult) -> ExecutionStats:
     )
 
 
+#: The execution modes :meth:`Engine.submit` accepts.  ``"thread"`` runs the
+#: job on the engine's thread pool; ``"process"`` runs it in a shared-nothing
+#: child process (same thread pool bounds how many run at once), shipping
+#: coalesced :class:`ProgressEvent` batches, the :class:`RunResult`, and the
+#: platform's :class:`ExecutionStats` back over a pipe.
+EXECUTORS: tuple[str, ...] = ("thread", "process")
+
+
+def _validate_executor(executor: str) -> str:
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    return executor
+
+
+#: Lazily-created multiprocessing context shared by every engine in the
+#: process.  ``forkserver`` where available: engines start workers from pool
+#: threads, and forking a multithreaded parent is unsafe (and a
+#: DeprecationWarning from Python 3.12); the fork server stays single
+#: threaded.  Plain assignment is GIL-atomic, and racing creators would only
+#: build the same context twice, so no lock is needed.
+_MP_CONTEXT: Optional[multiprocessing.context.BaseContext] = None
+
+
+def _process_context() -> multiprocessing.context.BaseContext:
+    global _MP_CONTEXT
+    if _MP_CONTEXT is None:
+        method = (
+            "forkserver"
+            if "forkserver" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        context = multiprocessing.get_context(method)
+        if method == "forkserver":
+            # Pre-import the engine (and its numpy/core dependency tree) in
+            # the fork server so each worker forks warm instead of paying
+            # the import bill per job.
+            context.set_forkserver_preload(["repro.api.engine"])
+        _MP_CONTEXT = context
+    return _MP_CONTEXT
+
+
+# Pipe message tags, worker -> parent.  A run is EVENTS* (DONE | FAILED):
+# zero or more coalesced event batches, then either the terminal stats (the
+# RunResult rides the final RUN_FINISHED event) or the pickled exception.
+_MSG_EVENTS = "events"
+_MSG_DONE = "done"
+_MSG_FAILED = "failed"
+
+
+def _pooled_worker(
+    conn: "multiprocessing.connection.Connection",
+    spec: JobSpec,
+    emit_batch_size: int,
+) -> None:
+    """Child-process entry point for one pooled job.
+
+    Executes the spec through the same single-construction path as every
+    other mode (:meth:`Engine._open_run`) and streams coalesced event
+    batches back as they are produced, so the parent's ``stream()``
+    consumers observe a pooled run live, exactly like a threaded one.  The
+    final ``RUN_FINISHED`` event carries the :class:`RunResult`; the DONE
+    message carries the :class:`ExecutionStats` read off the child's
+    platform (the platform object itself never crosses the pipe).
+
+    Failures ship the exception object itself so the parent surfaces the
+    same type and message; unpicklable exceptions degrade to a
+    ``RuntimeError`` carrying their repr.
+    """
+    try:
+        platform, _, events = Engine()._open_run(spec)
+        result = drain_stream_batched(
+            events,
+            lambda batch: conn.send((_MSG_EVENTS, list(batch))),
+            max_batch=emit_batch_size,
+        )
+        conn.send((_MSG_DONE, collect_stats(platform, result)))
+    except BaseException as error:
+        try:
+            conn.send((_MSG_FAILED, error))
+        except Exception:
+            conn.send(
+                (_MSG_FAILED, RuntimeError(f"{type(error).__name__}: {error}"))
+            )
+    finally:
+        conn.close()
+
+
 class JobStatus(Enum):
     PENDING = "pending"
     RUNNING = "running"
@@ -228,15 +328,21 @@ class LabelingJob:
     #: and consumers read them only after ``result()`` returns, with the
     #: condition's acquire/release providing the happens-before edge.
     _GUARDED_BY: ClassVar[Mapping[str, tuple[str, ...]]] = {
-        "_cond": ("_events", "_status", "_result", "_error"),
+        "_cond": ("_events", "_status", "_result", "_error", "_stats"),
     }
 
-    def __init__(self, spec: JobSpec, job_id: str) -> None:
+    def __init__(
+        self, spec: JobSpec, job_id: str, executor: str = "thread"
+    ) -> None:
         self.spec = spec
         #: Engine-allocated string id (``"job-<n>"``); the registry key a
         #: service client uses to address this job over the wire.
         self.job_id = job_id
+        #: Which execution mode runs this job (see :data:`EXECUTORS`).
+        self.executor = _validate_executor(executor)
         #: The batcher/platform of the (last) execution, for inspection.
+        #: ``None`` for process-pool jobs — the run's platform lives and
+        #: dies in the child; its stats arrive over the pipe instead.
         self.batcher: Optional[Batcher] = None
         self.platform: Optional[CrowdBackend] = None
         self._events: list[ProgressEvent] = []
@@ -244,6 +350,7 @@ class LabelingJob:
         self._status = JobStatus.PENDING
         self._result: Optional[RunResult] = None
         self._error: Optional[BaseException] = None
+        self._stats: Optional[ExecutionStats] = None
 
     @property
     def name(self) -> str:
@@ -314,11 +421,20 @@ class LabelingJob:
     def stats(self, timeout: Optional[float] = None) -> ExecutionStats:
         """Block for the run's simulator-side :class:`ExecutionStats`.
 
-        The thread-pooled counterpart of :meth:`Engine.run_with_stats`:
-        once the job succeeds, the platform's event/cost counters are read
-        off the (now idle) backend.  Raises like :meth:`result` on failure.
+        The pooled counterpart of :meth:`Engine.run_with_stats`: once the
+        job succeeds, either the stats that a worker process collected in
+        the child and shipped over the pipe are returned, or — for
+        thread-executed jobs, whose platform lives in this process — the
+        event/cost counters are read off the (now idle) backend.  Both
+        sources are :func:`collect_stats` on the run's private platform, so
+        they are bit-identical for the same spec.  Raises like
+        :meth:`result` on failure.
         """
         result = self.result(timeout=timeout)
+        with self._cond:
+            stats = self._stats
+        if stats is not None:
+            return stats
         assert self.platform is not None
         return collect_stats(self.platform, result)
 
@@ -343,13 +459,29 @@ class LabelingJob:
             self._cond.notify_all()
 
     def _emit(self, event: ProgressEvent) -> None:
+        self._emit_batch((event,))
+
+    def _emit_batch(self, events: Sequence[ProgressEvent]) -> None:
+        """Append a batch of events under one acquire/notify round-trip.
+
+        Coalesced delivery is semantically identical to per-event emission —
+        consumers in :meth:`stream` drain everything past their cursor on
+        each wakeup regardless of how the events arrived — but the producer
+        pays for one Condition acquire and one ``notify_all`` per batch
+        instead of per event.
+        """
+        if not events:
+            return
         with self._cond:
-            self._events.append(event)
+            self._events.extend(events)
             self._cond.notify_all()
 
-    def _finish(self, result: RunResult) -> None:
+    def _finish(
+        self, result: RunResult, stats: Optional[ExecutionStats] = None
+    ) -> None:
         with self._cond:
             self._result = result
+            self._stats = stats
             self._status = JobStatus.SUCCEEDED
             self._cond.notify_all()
 
@@ -361,11 +493,19 @@ class LabelingJob:
 
 
 class Engine:
-    """Executes labeling jobs — inline, or concurrently on a thread pool.
+    """Executes labeling jobs — inline, on a thread pool, or in a process pool.
 
     The engine is cheap to construct; the thread pool is created lazily on
     the first :meth:`submit`.  Use it as a context manager (or call
     :meth:`close`) to tear the pool down deterministically.
+
+    ``executor`` selects the default execution mode for submitted jobs:
+    ``"thread"`` runs each job on a pool thread (GIL-bound, zero setup
+    cost), ``"process"`` hands each job to a shared-nothing child process
+    (true parallelism across cores; the thread pool still bounds how many
+    children run at once).  Jobs are seed-deterministic pure functions of
+    their spec, so the mode changes wall-clock only — labels, counters,
+    event sequences, and stats are bit-identical either way.
     """
 
     #: Lock-discipline declaration, enforced by ``repro lint`` (REPRO-C301).
@@ -381,10 +521,30 @@ class Engine:
         ),
     }
 
-    def __init__(self, max_workers: int = 4) -> None:
+    #: Oracle-parity declaration, enforced by ``repro lint`` (REPRO-P501):
+    #: the process-pool fast path must stay behaviour-identical to the
+    #: in-process thread path, its reference oracle — the executor axis of
+    #: ``tests/equivalence.py`` is the live check behind this registration.
+    _SCAN_TWINS: ClassVar[Mapping[str, str]] = {
+        "_run_job_process": "_run_job_thread",
+    }
+
+    def __init__(
+        self,
+        max_workers: int = 4,
+        executor: str = "thread",
+        emit_batch_size: int = DEFAULT_EMIT_BATCH,
+    ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if emit_batch_size < 1:
+            raise ValueError("emit_batch_size must be >= 1")
         self.max_workers = max_workers
+        #: Default execution mode for :meth:`submit` (overridable per call).
+        self.executor = _validate_executor(executor)
+        #: Events coalesced per delivery — one Condition round-trip (and,
+        #: for process jobs, one pipe message) per batch of this size.
+        self.emit_batch_size = emit_batch_size
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
         self._lock = threading.Lock()
@@ -430,13 +590,18 @@ class Engine:
 
     # -- concurrent execution ---------------------------------------------
 
-    def submit(self, spec: JobSpec) -> LabelingJob:
-        """Schedule ``spec`` on the thread pool and return its job handle.
+    def submit(
+        self, spec: JobSpec, executor: Optional[str] = None
+    ) -> LabelingJob:
+        """Schedule ``spec`` for concurrent execution and return its handle.
 
-        The job is registered under its engine-allocated string id; it stays
-        reachable via :meth:`get_job` / :meth:`jobs` until :meth:`forget_job`
-        drops it.
+        ``executor`` overrides the engine default for this job (see
+        :data:`EXECUTORS`); either way a pool thread supervises the run, so
+        ``max_workers`` bounds concurrency in both modes.  The job is
+        registered under its engine-allocated string id; it stays reachable
+        via :meth:`get_job` / :meth:`jobs` until :meth:`forget_job` drops it.
         """
+        mode = _validate_executor(self.executor if executor is None else executor)
         with self._lock:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed Engine")
@@ -445,43 +610,60 @@ class Engine:
                     max_workers=self.max_workers,
                     thread_name_prefix="repro-engine",
                 )
-            executor = self._executor
-            job = LabelingJob(spec, job_id=f"job-{next(self._job_ids)}")
+            pool = self._executor
+            job = LabelingJob(
+                spec, job_id=f"job-{next(self._job_ids)}", executor=mode
+            )
             self._jobs[job.job_id] = job
-        executor.submit(self._run_job, job)
+        pool.submit(self._run_job, job)
         return job
 
-    def submit_many(self, specs: Sequence[JobSpec]) -> list[LabelingJob]:
+    def submit_many(
+        self, specs: Sequence[JobSpec], executor: Optional[str] = None
+    ) -> list[LabelingJob]:
         """Submit several specs; jobs execute concurrently as workers allow."""
-        return [self.submit(spec) for spec in specs]
+        return [self.submit(spec, executor=executor) for spec in specs]
 
     def run_many(
-        self, specs: Sequence[JobSpec], timeout: Optional[float] = None
+        self,
+        specs: Sequence[JobSpec],
+        timeout: Optional[float] = None,
+        executor: Optional[str] = None,
     ) -> list[RunResult]:
         """Execute several specs concurrently; results follow spec order.
 
-        ``timeout`` is a single deadline for the whole call, not per job.
-        On timeout the in-flight jobs keep running on the pool (threads
+        ``executor`` picks the execution mode (``"thread"`` / ``"process"``,
+        defaulting to the engine's mode); results are bit-identical across
+        modes.  ``timeout`` is a single deadline for the whole call, not per
+        job.  On timeout the in-flight jobs keep running on the pool (they
         cannot be cancelled); resubmit with handles via :meth:`submit_many`
         if you need to keep observing them.
         """
         return self._await_jobs(
-            self.submit_many(specs), timeout=timeout, with_stats=False
+            self.submit_many(specs, executor=executor),
+            timeout=timeout,
+            with_stats=False,
         )
 
     def run_many_with_stats(
-        self, specs: Sequence[JobSpec], timeout: Optional[float] = None
+        self,
+        specs: Sequence[JobSpec],
+        timeout: Optional[float] = None,
+        executor: Optional[str] = None,
     ) -> list[tuple[RunResult, ExecutionStats]]:
         """Concurrent :meth:`run_many` that also returns per-job stats.
 
         Results follow spec order; each tuple pairs the job's
         :class:`RunResult` with the :class:`ExecutionStats` read from its
-        private platform after completion.  Jobs are independent (one
-        platform each), so the aggregate is deterministic regardless of how
-        the thread pool interleaves them.
+        private platform after completion (shipped over the pipe for
+        process-pool jobs).  Jobs are independent (one platform each), so
+        the aggregate is deterministic regardless of how the pool
+        interleaves them — and identical across executors.
         """
         return self._await_jobs(
-            self.submit_many(specs), timeout=timeout, with_stats=True
+            self.submit_many(specs, executor=executor),
+            timeout=timeout,
+            with_stats=True,
         )
 
     # -- job registry -------------------------------------------------------
@@ -590,13 +772,91 @@ class Engine:
             )
         job._mark_running()
         try:
-            platform, batcher, events = self._open_run(job.spec)
-            job.platform = platform
-            job.batcher = batcher
-            result = drain_stream(events, on_event=job._emit)
-            job._finish(result)
+            if job.executor == "process":
+                result, stats = self._run_job_process(job)
+            else:
+                result, stats = self._run_job_thread(job)
+            job._finish(result, stats=stats)
         except BaseException as error:  # surface failures through the handle
             job._fail(error)
         finally:
             with self._lock:
                 self._running -= 1
+
+    def _run_job_thread(
+        self, job: LabelingJob
+    ) -> tuple[RunResult, Optional[ExecutionStats]]:
+        """Execute one pooled job in-process, on the supervising thread.
+
+        The reference executor (the oracle the process path is proven
+        against): events are coalesced into ``emit_batch_size`` deliveries
+        straight into the job's event list, and the platform stays reachable
+        on the handle for ``stats()`` to read lazily.
+        """
+        platform, batcher, events = self._open_run(job.spec)
+        job.platform = platform
+        job.batcher = batcher
+        result = drain_stream_batched(
+            events, job._emit_batch, max_batch=self.emit_batch_size
+        )
+        return result, None
+
+    def _run_job_process(
+        self, job: LabelingJob
+    ) -> tuple[RunResult, ExecutionStats]:
+        """Execute one pooled job in a shared-nothing child process.
+
+        The supervising pool thread starts the worker, then replays its pipe
+        messages into the job handle: each coalesced event batch is appended
+        via :meth:`LabelingJob._emit_batch` exactly as the thread path
+        appends its own, so ``stream()``/SSE consumers cannot tell the
+        executors apart.  The final ``RUN_FINISHED`` event carries the
+        :class:`RunResult`; the DONE message carries the child-collected
+        :class:`ExecutionStats`.  A child exception arrives pickled and is
+        re-raised here, surfacing the original type and message through
+        ``result()`` like any threaded failure; a child that dies without
+        reporting (killed, crashed interpreter) raises ``RuntimeError`` with
+        its exit code.
+        """
+        context = _process_context()
+        receiver, sender = context.Pipe(duplex=False)
+        worker = context.Process(
+            target=_pooled_worker,
+            args=(sender, job.spec, self.emit_batch_size),
+            name=f"repro-worker-{job.job_id}",
+            daemon=True,
+        )
+        worker.start()
+        result: Optional[RunResult] = None
+        stats: Optional[ExecutionStats] = None
+        try:
+            sender.close()
+            while True:
+                try:
+                    message = receiver.recv()
+                except EOFError:
+                    worker.join()
+                    raise RuntimeError(
+                        f"worker process for {job.name} exited without "
+                        f"reporting a result (exit code {worker.exitcode})"
+                    ) from None
+                if message[0] == _MSG_EVENTS:
+                    batch: Sequence[ProgressEvent] = message[1]
+                    for event in batch:
+                        if event.result is not None:
+                            result = event.result
+                    job._emit_batch(batch)
+                elif message[0] == _MSG_DONE:
+                    stats = message[1]
+                    break
+                else:  # _MSG_FAILED: re-raise the child's exception here
+                    raise message[1]
+        finally:
+            receiver.close()
+            worker.join()
+        if result is None or stats is None:
+            raise RuntimeError(
+                f"worker process for {job.name} finished without a "
+                "RUN_FINISHED event"
+            )
+        return result, stats

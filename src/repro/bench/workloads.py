@@ -334,12 +334,13 @@ def scale_capped_workload(
 
 @register_workload(
     "concurrency",
-    description="thread-pooled Engine.run_many over independent labeling jobs",
+    description="pooled Engine.run_many over independent labeling jobs",
     defaults={
         "num_jobs": 6,
         "max_workers": 4,
         "num_records": 150,
         "pool_size": 15,
+        "executor": "thread",
     },
 )
 def concurrency_workload(
@@ -348,16 +349,23 @@ def concurrency_workload(
     max_workers: int = 4,
     num_records: int = 150,
     pool_size: int = 15,
+    executor: str = "thread",
 ) -> WorkloadOutcome:
     """Concurrent engine execution: ``num_jobs`` independent labeling runs
-    race on a ``max_workers``-thread pool via :meth:`Engine.run_many_with_stats`.
+    race on a ``max_workers``-wide pool via :meth:`Engine.run_many_with_stats`.
 
     Each job gets its own seed, dataset slice, population, and platform, so
     per-job outcomes are deterministic and the aggregate is independent of
-    thread interleaving — which is exactly what lets a concurrency benchmark
+    pool interleaving — which is exactly what lets a concurrency benchmark
     back a regression gate.  Wall-clock improvements here measure the
     engine's submission/streaming overhead and lock contention, not the
     simulator.
+
+    ``--param executor=process`` runs the same jobs in shared-nothing worker
+    processes instead of pool threads.  The labels/events/cost fingerprint
+    is bit-identical by construction (CI strict-compares the process run
+    against the committed thread baseline); wall-clock scales with cores
+    once jobs are large enough to amortise worker startup.
     """
     specs = []
     for job in range(num_jobs):
@@ -381,13 +389,14 @@ def concurrency_workload(
                 name=f"concurrency-{job}",
             )
         )
-    with Engine(max_workers=max_workers) as engine:
+    with Engine(max_workers=max_workers, executor=executor) as engine:
         paired = engine.run_many_with_stats(specs)
         high_water = engine.concurrency_high_water
     stats = [job_stats for _, job_stats in paired]
     details = {
         "num_jobs": num_jobs,
         "max_workers": max_workers,
+        "executor": executor,
         "per_job_labels": [len(result.labels) for result, _ in paired],
         # Diagnostic only: depends on thread scheduling, so it lives in
         # details (excluded from the determinism fingerprint).

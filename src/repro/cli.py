@@ -373,14 +373,29 @@ def _add_serve_parser(subparsers: argparse._SubParsersAction) -> None:
         "--max-workers",
         type=int,
         default=8,
-        help="engine thread-pool size for concurrent jobs (default 8)",
+        help="engine pool size for concurrent jobs (default 8)",
+    )
+    serve_parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "execution mode for submitted jobs: pool threads (GIL-bound) or "
+            "shared-nothing worker processes; outcomes are bit-identical "
+            "(default thread)"
+        ),
     )
 
 
 def _run_serve(args: argparse.Namespace) -> int:
     from .service import serve
 
-    return serve(host=args.host, port=args.port, max_workers=args.max_workers)
+    return serve(
+        host=args.host,
+        port=args.port,
+        max_workers=args.max_workers,
+        executor=args.executor,
+    )
 
 
 def _add_lint_parser(subparsers: argparse._SubParsersAction) -> None:

@@ -763,13 +763,17 @@ class OracleParityRule(Rule):
     description = "indexed fast paths must register a brute-force _scan twin"
 
     #: Modules that must contain at least one ``_SCAN_TWINS`` declaration.
+    #: ``repro.api.engine`` is here because its process-pool executor is a
+    #: fast path over the threaded oracle: deleting either the registration
+    #: or the twin method is a finding.
     REQUIRED_MODULES: ClassVar[tuple[str, ...]] = (
         "repro.core.mitigator",
         "repro.core.active_index",
+        "repro.api.engine",
     )
 
     def applies_to(self, module: LintModule) -> bool:
-        return module.in_package("repro.core")
+        return module.in_package("repro.core") or module.in_package("repro.api")
 
     def check(self, module: LintModule) -> Iterator[Finding]:
         for class_def in ast.walk(module.tree):

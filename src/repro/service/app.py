@@ -49,13 +49,23 @@ class LabelingService:
     Constructed without an engine, the service owns a private one (and
     closes it on :meth:`close`); pass an engine to layer the service over
     jobs you also drive in-process — the caller then keeps ownership and
-    :meth:`close` only stops the service's streams.
+    :meth:`close` only stops the service's streams.  ``executor`` selects
+    the owned engine's execution mode (``"thread"`` or ``"process"``) —
+    submitted jobs behave identically either way, including their SSE event
+    sequences; only wall-clock parallelism differs.
     """
 
     def __init__(
-        self, engine: Optional[Engine] = None, max_workers: int = 8
+        self,
+        engine: Optional[Engine] = None,
+        max_workers: int = 8,
+        executor: str = "thread",
     ) -> None:
-        self._engine = engine if engine is not None else Engine(max_workers=max_workers)
+        self._engine = (
+            engine
+            if engine is not None
+            else Engine(max_workers=max_workers, executor=executor)
+        )
         self._owns_engine = engine is None
         self._shutdown = threading.Event()
         #: Per-job stream-stop events; DELETE sets one, close() sets all.

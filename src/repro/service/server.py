@@ -229,13 +229,21 @@ def start_server(
     return server
 
 
-def serve(host: str = "127.0.0.1", port: int = 8080, max_workers: int = 8) -> int:
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    max_workers: int = 8,
+    executor: str = "thread",
+) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Prints the bound URL (port 0 picks an ephemeral one), serves until
     interrupted, then closes streams and the engine gracefully.
+    ``executor`` picks the engine's execution mode for submitted jobs
+    ("thread" or "process"); outcomes are identical, only parallelism
+    differs.
     """
-    service = LabelingService(max_workers=max_workers)
+    service = LabelingService(max_workers=max_workers, executor=executor)
     server = ServiceHTTPServer((host, port), service)
     print(f"repro service listening on {server.url}", flush=True)
     try:

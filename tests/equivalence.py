@@ -30,8 +30,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Optional, Sequence
 
-from repro.api.engine import JobSpec, build_run
-from repro.api.events import drain_stream
+from repro.api.engine import Engine, JobSpec, build_run
+from repro.api.events import ProgressEvent, drain_stream
 from repro.core.config import CLAMShellConfig, LearningStrategy
 from repro.experiments.common import make_labeling_workload, mixed_speed_population
 
@@ -145,6 +145,149 @@ def spec_fingerprint(spec: JobSpec) -> dict[str, Any]:
 def behavioural_view(fingerprint: dict[str, Any]) -> dict[str, Any]:
     """The gate-independent part of a fingerprint (everything but probes)."""
     return {key: value for key, value in fingerprint.items() if key != "probes"}
+
+
+# -- executor axis: thread pool vs process pool ------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutorVariant:
+    """One (execution mode, dispatch-gate) cell of the executor sweep."""
+
+    name: str
+    #: ``"thread"`` runs the job on the engine's pool threads; ``"process"``
+    #: runs it in a shared-nothing child process with coalesced event
+    #: batches replayed over a pipe.
+    executor: str = "thread"
+    #: The LifeGuard's event-level placeability gate, carried through the
+    #: config so the setting survives the trip into a worker process.
+    use_dispatch_gate: bool = True
+
+
+#: The executor 2x2 grid: {thread, process} x {gated, ungated}.  Holding the
+#: gate axis in the same sweep proves the process pool replays the exact
+#: dispatch decisions of the threaded run in both gate regimes.
+EXECUTOR_VARIANTS: tuple[ExecutorVariant, ...] = (
+    ExecutorVariant("thread+gate", executor="thread", use_dispatch_gate=True),
+    ExecutorVariant("process+gate", executor="process", use_dispatch_gate=True),
+    ExecutorVariant("thread-ungated", executor="thread", use_dispatch_gate=False),
+    ExecutorVariant("process-ungated", executor="process", use_dispatch_gate=False),
+)
+
+
+def event_view(event: ProgressEvent) -> tuple[Any, ...]:
+    """A :class:`ProgressEvent` reduced to its comparable fields.
+
+    Everything the event reports is included except the final event's
+    ``result`` payload (its labels/cost are asserted separately — RunResult
+    holds numpy-backed outcome records that do not define a usable ``==``).
+    """
+    return (
+        event.kind.value,
+        event.batch_index,
+        event.wall_clock,
+        event.records_labeled,
+        event.pool_size,
+        tuple(sorted(event.new_labels.items())),
+        event.batch_latency,
+        event.accuracy_estimate,
+        event.workers_replaced,
+        event.assignments_started,
+        event.assignments_terminated,
+    )
+
+
+def engine_run_fingerprint(
+    config: CLAMShellConfig,
+    num_records: int,
+    executor: str = "thread",
+    max_workers: int = 2,
+    emit_batch_size: Optional[int] = None,
+) -> dict[str, Any]:
+    """One full submit-path run through an :class:`Engine`, fingerprinted.
+
+    The engine-level counterpart of :func:`run_fingerprint`: the spec is
+    built fresh (populations are stateful), submitted to a pooled engine in
+    the requested execution mode, and reduced to the fields that must be
+    bit-identical across executors — labels, cost counters, stats, and the
+    full observed event sequence (via :func:`event_view`).  Probe counters
+    are split out exactly like :func:`run_fingerprint` so gate-on and
+    gate-off cells can share the comparison helpers.
+    """
+    dataset = make_labeling_workload(num_records=2 * num_records, seed=config.seed)
+    spec = JobSpec(
+        dataset=dataset,
+        config=config,
+        population=mixed_speed_population(seed=config.seed),
+        num_records=num_records,
+    )
+    engine_kwargs: dict[str, Any] = {}
+    if emit_batch_size is not None:
+        engine_kwargs["emit_batch_size"] = emit_batch_size
+    with Engine(
+        max_workers=max_workers, executor=executor, **engine_kwargs
+    ) as engine:
+        job = engine.submit(spec)
+        result = job.result(timeout=600)
+        stats = job.stats()
+        events = job.events()
+    counters = dict(stats.counters)
+    probes = {
+        key: counters.pop(key) for key in list(counters) if key.startswith("probes_")
+    }
+    return {
+        "labels": result.labels,
+        "counters": counters,
+        "probes": probes,
+        "sim_seconds": stats.sim_seconds,
+        "total_cost": result.total_cost,
+        "events_processed": stats.events_processed,
+        "events": [event_view(event) for event in events],
+    }
+
+
+def assert_executors_equivalent(
+    config: CLAMShellConfig,
+    num_records: int = 40,
+    variants: Sequence[ExecutorVariant] = EXECUTOR_VARIANTS,
+    max_workers: int = 2,
+) -> dict[str, dict[str, Any]]:
+    """Run one sweep cell across executors and assert they cannot diverge.
+
+    * Labels, counters, stats, cost, and the event-for-event progress
+      sequence must be bit-identical across *all* variants.
+    * Probe counters must be bit-identical across variants sharing a gate
+      setting (the process pool must replay the thread path's gate
+      decisions exactly).
+
+    Returns the per-variant fingerprints for cell-specific assertions.
+    """
+    runs = {
+        variant.name: engine_run_fingerprint(
+            config.with_overrides(use_dispatch_gate=variant.use_dispatch_gate),
+            num_records,
+            executor=variant.executor,
+            max_workers=max_workers,
+        )
+        for variant in variants
+    }
+    names = [variant.name for variant in variants]
+    reference_name = names[0]
+    reference = behavioural_view(runs[reference_name])
+    for name in names[1:]:
+        assert behavioural_view(runs[name]) == reference, (
+            f"executor variant {name!r} diverged behaviourally from "
+            f"{reference_name!r} for config {config.describe()!r}"
+        )
+    by_gate: dict[bool, str] = {}
+    for variant in variants:
+        first = by_gate.setdefault(variant.use_dispatch_gate, variant.name)
+        assert runs[variant.name]["probes"] == runs[first]["probes"], (
+            f"executor variant {variant.name!r} made different gate/probe "
+            f"decisions than {first!r} (gate={variant.use_dispatch_gate}) "
+            f"for config {config.describe()!r}"
+        )
+    return runs
 
 
 def assert_equivalent(

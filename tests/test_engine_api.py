@@ -11,6 +11,7 @@ from repro.api import (
     Engine,
     JobSpec,
     JobStatus,
+    LabelingJob,
     ProgressKind,
     available_backends,
     create_backend,
@@ -447,3 +448,122 @@ class TestLegacyBackendWithoutObservers:
         assert legacy_result.metrics.records_labeled == 10
         # Scan and indexed paths agree, so the backends' results match too.
         assert legacy_result.labels == modern_result.labels
+
+
+class TestCoalescedEmission:
+    """Batched event delivery is invisible to stream()/events() consumers."""
+
+    def _recorded_run(self, dataset):
+        """One real run's (spec, events, result) to replay into fresh handles."""
+        spec = JobSpec(
+            dataset=dataset,
+            config=full_clamshell(pool_size=5, seed=2),
+            population=make_population(),
+            num_records=20,
+        )
+        with Engine(max_workers=1) as engine:
+            job = engine.submit(spec)
+            job.result(timeout=300)
+            return spec, job.events(), job.result()
+
+    def test_stream_sequence_identical_singly_vs_batched(self, dataset):
+        spec, events, result = self._recorded_run(dataset)
+        assert len(events) >= 4  # enough to split into uneven batches
+
+        singly = LabelingJob(spec, "job-singly")
+        for event in events:
+            singly._emit(event)
+        singly._finish(result)
+
+        batched = LabelingJob(spec, "job-batched")
+        batched._emit_batch(events[:1])
+        batched._emit_batch([])  # empty deliveries are dropped, not recorded
+        batched._emit_batch(events[1:4])
+        batched._emit_batch(events[4:])
+        batched._finish(result)
+
+        assert list(batched.stream()) == list(singly.stream())
+        assert batched.events() == singly.events() == events
+
+    def test_stop_wakes_consumer_blocked_mid_batch(self, dataset):
+        spec, events, _ = self._recorded_run(dataset)
+        job = LabelingJob(spec, "job-midbatch")
+        stop = threading.Event()
+        seen = []
+        drained = threading.Event()
+
+        def consume():
+            for event in job.stream(stop=stop):
+                seen.append(event)
+                if len(seen) == 3:
+                    drained.set()
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        # One coalesced delivery; the consumer drains it and blocks again
+        # (the job is not done), i.e. it is parked mid-run after a batch.
+        job._emit_batch(events[:3])
+        assert drained.wait(timeout=60), "consumer never saw the batch"
+        # Stop-then-interrupt must end the blocked stream: the flag is set
+        # before the wakeup and re-checked under the condition, so there is
+        # no window where the consumer sleeps through the shutdown.
+        stop.set()
+        job.interrupt_streams()
+        consumer.join(timeout=60)
+        assert not consumer.is_alive()
+        assert seen == events[:3]
+
+
+class TestProcessExecutor:
+    """The process pool behaves exactly like the thread pool, stats included."""
+
+    def _spec(self, dataset, seed=0):
+        return JobSpec(
+            dataset=dataset,
+            config=full_clamshell(pool_size=4, seed=seed),
+            num_records=15,
+            name=f"proc-job-{seed}",
+        )
+
+    def test_pooled_job_stats_match_inline_collect_stats(self, dataset):
+        """Satellite regression: stats() for a process job must equal
+        collect_stats on an in-process run of the same spec — the child
+        ships its platform counters because the parent never sees the
+        platform object."""
+        spec = self._spec(dataset)
+        with Engine(max_workers=1, executor="process") as engine:
+            job = engine.submit(spec)
+            pooled_stats = job.stats(timeout=300)
+            assert job.platform is None  # the run lived in the child
+        _, inline_stats = Engine().run_with_stats(spec)
+        assert pooled_stats == inline_stats
+
+    def test_run_many_process_matches_thread(self, dataset):
+        specs = [self._spec(dataset, seed=s) for s in range(2)]
+        with Engine(max_workers=2) as threaded:
+            thread_results = threaded.run_many(specs, timeout=600)
+        with Engine(max_workers=2) as pooled:
+            process_results = pooled.run_many(specs, timeout=600, executor="process")
+        for thread_result, process_result in zip(
+            thread_results, process_results, strict=True
+        ):
+            assert process_result.labels == thread_result.labels
+            assert process_result.total_cost == thread_result.total_cost
+            assert (
+                process_result.metrics.total_wall_clock
+                == thread_result.metrics.total_wall_clock
+            )
+
+    def test_per_call_executor_override_beats_engine_default(self, dataset):
+        with Engine(max_workers=1, executor="process") as engine:
+            job = engine.submit(self._spec(dataset), executor="thread")
+            job.result(timeout=300)
+            assert job.executor == "thread"
+            assert job.platform is not None  # ran in-process
+
+    def test_unknown_executor_rejected_up_front(self, dataset):
+        with pytest.raises(ValueError, match="unknown executor"):
+            Engine(executor="fiber")
+        with Engine(max_workers=1) as engine:
+            with pytest.raises(ValueError, match="unknown executor"):
+                engine.submit(self._spec(dataset), executor="fiber")

@@ -385,3 +385,68 @@ class TestSSE:
             assert "backend exploded" in detail["error"]
         finally:
             unregister_backend(name)
+
+
+class TestCoalescedAndPooledStreams:
+    """SSE framing is independent of how events were emitted — singly, in
+    coalesced batches, or replayed from a worker process's pipe."""
+
+    @contextmanager
+    def _live_service(self, **engine_kwargs):
+        service = LabelingService(engine=Engine(max_workers=2, **engine_kwargs))
+        server = start_server(service, port=0)
+        try:
+            host, port = server.server_address[:2]
+            yield host, port, service
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close(wait=False)
+
+    def _sse_frames(self, payload, **engine_kwargs):
+        with self._live_service(**engine_kwargs) as (host, port, _):
+            _, submitted, _ = request(host, port, "POST", "/jobs", body=payload)
+            status, frames = read_sse(host, port, f"/jobs/{submitted['id']}/events")
+            assert status == 200
+            return frames
+
+    def test_sse_identical_singly_vs_batched_emission(self):
+        payload = job_payload(seed=21, num_records=12)
+        singly = self._sse_frames(payload, emit_batch_size=1)
+        coalesced = self._sse_frames(payload, emit_batch_size=64)
+        assert coalesced == singly
+        assert singly[0]["kind"] == "run_started"
+        assert singly[-1]["kind"] == "run_finished"
+
+    def test_sse_identical_for_process_executor(self):
+        payload = job_payload(seed=22, num_records=12)
+        threaded = self._sse_frames(payload, executor="thread")
+        pooled = self._sse_frames(payload, executor="process")
+        assert pooled == threaded
+
+    def test_shutdown_wakes_stream_blocked_mid_batch(self):
+        """close() must end an SSE consumer parked between coalesced
+        deliveries: a held job emits nothing, the reader blocks after the
+        history replay, and the stop-then-interrupt shutdown unblocks it."""
+        with held_backend("held-midbatch") as (name, started, release):
+            service = LabelingService(engine=Engine(max_workers=1))
+            server = start_server(service, port=0)
+            host, port = server.server_address[:2]
+            frames = []
+            payload = job_payload(seed=23, num_records=10, backend=name)
+            _, submitted, _ = request(host, port, "POST", "/jobs", body=payload)
+            reader = threading.Thread(
+                target=lambda: frames.append(
+                    read_sse(host, port, f"/jobs/{submitted['id']}/events")
+                )
+            )
+            reader.start()
+            assert started.wait(timeout=60), "job never reached the backend"
+            # The reader is now blocked in stream(): no events, job running.
+            service.close(wait=False)
+            reader.join(timeout=60)
+            alive = reader.is_alive()
+            release.set()
+            server.shutdown()
+            server.server_close()
+            assert not alive, "shutdown left the SSE reader blocked"
