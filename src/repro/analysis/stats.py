@@ -3,10 +3,27 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import stats
+
+
+def empirical_std(values: Sequence[float]) -> Optional[float]:
+    """Sample standard deviation (``ddof=1``), or ``None`` below two values.
+
+    This is the one definition of "do we have a variance estimate?" shared
+    by pool maintenance: :meth:`repro.crowd.worker.WorkerObservations.
+    empirical_std_latency` delegates here, and :func:`one_sided_mean_test`
+    treats the ``None`` sentinel (no estimate) and an exact-zero estimate
+    (degenerate sample) as the same direct mean-vs-threshold fallback.
+    Before this helper the two call sites hand-rolled the <2-observations
+    case with different conventions.
+    """
+    array = np.asarray(values, dtype=float)
+    if array.size < 2:
+        return None
+    return float(array.std(ddof=1))
 
 
 @dataclass(frozen=True)
@@ -35,7 +52,8 @@ def one_sided_mean_test(
     if array.size == 0:
         raise ValueError("values must not be empty")
     sample_mean = float(array.mean())
-    if array.size < 2 or array.std(ddof=1) == 0:
+    std = empirical_std(array)
+    if std is None or std == 0.0:
         exceeds = sample_mean > threshold
         return OneSidedTestResult(
             statistic=float("nan"),

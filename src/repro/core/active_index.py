@@ -33,6 +33,10 @@ assignment-observer hooks (:meth:`assignment_started` /
 LifeGuard registers for the duration of a batch.  Routing this through the
 platform rather than the LifeGuard matters: pool maintenance terminates
 assignments from inside ``replace_worker``, a path the LifeGuard never sees.
+The simulated platform fires these callbacks from its assignment-ledger
+transitions, and the ledger layout (struct-of-arrays columns vs the
+per-dict oracle twin) is required to be observer-invisible: same callbacks,
+same order, same arguments, whichever ledger is active.
 
 Equivalence contract: for every sequence of callbacks produced by a real
 batch run, the index's view (live active tasks in batch order, per-task
@@ -40,7 +44,9 @@ active counts, per-worker involvement) is identical to what the brute-force
 scan would compute from the task objects — so the mitigator draws the same
 random index over the same candidate count and every seed reproduces
 bit-identical labels and cost counters.  ``tests/test_mitigator_equivalence``
-holds this property over seeds × pool sizes × batch configurations.
+holds this property over seeds × pool sizes × batch configurations, and
+``tests/test_state_equivalence`` holds the observer-invisibility of the
+platform's ledger swap over the same kind of sweep.
 """
 
 from __future__ import annotations

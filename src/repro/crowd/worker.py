@@ -68,9 +68,16 @@ class WorkerProfile:
 
         The single-record case (the dominant one: Ng=1 is the paper's
         "simple" complexity and the default) avoids array allocation with a
-        scalar draw; multi-record tasks use one vectorized call.  Both paths
-        consume the generator identically, so a run's results do not depend
-        on which path served it.
+        scalar draw; multi-record tasks use one vectorized call.  With
+        numpy's current ziggurat sampler a ``size=n`` fill consumes the bit
+        stream exactly like ``n`` scalar draws, so the two paths happen to
+        agree draw for draw — but the sampler is rejection-based and numpy
+        documents no such contract, so this is an implementation detail,
+        not a guarantee.  The simulated platform therefore routes every
+        latency/label draw through :class:`WorkerDrawBlock` (one sequential
+        per-worker stream, so block and scalar consumption are identical by
+        construction), and ``tests/test_draw_blocks.py`` pins the empirical
+        scalar-vs-vectorized parity this method's fast path still leans on.
         """
         if num_records < 1:
             raise ValueError(f"num_records must be >= 1, got {num_records}")
@@ -139,6 +146,164 @@ class WorkerProfile:
     def with_id(self, worker_id: int) -> "WorkerProfile":
         """Return a copy of this profile under a different id."""
         return replace(self, worker_id=worker_id)
+
+
+#: Default number of values pre-drawn per RNG-block refill.  Big enough to
+#: amortise the per-call numpy dispatch overhead across a typical worker's
+#: assignment count, small enough that a 100k-worker pool stays cheap.
+DEFAULT_DRAW_BLOCK_SIZE = 64
+
+#: Stream discriminators mixed into each worker's block seeds.  Latency
+#: normals, label uniforms, and wrong-label integers are three independent
+#: streams so a draw on one never shifts the others.
+_LATENCY_STREAM = 0
+_LABEL_STREAM = 1
+_WRONG_LABEL_STREAM = 2
+
+#: Shared zero-length seed block: every fresh :class:`WorkerDrawBlock`
+#: starts exhausted and fills on first draw.
+_EMPTY_BLOCK = np.empty(0, dtype=float)
+
+
+class WorkerDrawBlock:
+    """Pre-drawn RNG blocks for one seated worker: the single source of draws.
+
+    Instead of paying one ``Generator.normal``/``Generator.random`` call per
+    assignment, the platform pre-draws each worker's randomness in vectorized
+    chunks and consumes it sequentially.  Three independent generators are
+    seeded ``[seed, worker_id, stream]``:
+
+    * latency standard normals (``draw_latency`` scales by ``mu``/``sigma``);
+    * label-accuracy uniforms (``draw_labels`` compares against ``lambda``);
+    * wrong-label integers (the rare miss path, drawn scalar on demand).
+
+    Because each stream belongs to one worker and is consumed strictly in
+    order, the values a worker sees depend only on ``(seed, worker_id,
+    draw index)`` — never on the block size, on how draws batch into refills,
+    or on how other workers' events interleave.  That is what makes the
+    struct-of-arrays fast path and the per-dict oracle ledger bit-identical
+    by construction: both consume the same blocks in the same order.  The
+    block-boundary and scalar-vs-vectorized parity pins live in
+    ``tests/test_draw_blocks.py`` and ``tests/test_state_equivalence.py``.
+
+    A block must never be shared between two distinct workers: the stream is
+    keyed by ``worker_id``, and populations hand out fresh ids even when the
+    same trace profile is re-recruited.
+    """
+
+    __slots__ = (
+        "profile",
+        "_block_size",
+        "_latency_rng",
+        "_latency_block",
+        "_latency_pos",
+        "_label_rng",
+        "_label_block",
+        "_label_pos",
+        "_wrong_rng",
+    )
+
+    def __init__(
+        self,
+        profile: WorkerProfile,
+        seed: int,
+        block_size: int = DEFAULT_DRAW_BLOCK_SIZE,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        self.profile = profile
+        self._block_size = int(block_size)
+        worker_id = profile.worker_id
+        self._latency_rng = np.random.default_rng([seed, worker_id, _LATENCY_STREAM])
+        self._label_rng = np.random.default_rng([seed, worker_id, _LABEL_STREAM])
+        self._wrong_rng = np.random.default_rng([seed, worker_id, _WRONG_LABEL_STREAM])
+        # Blocks are filled lazily on first use so seating a worker who never
+        # draws (reserve churn, tail-of-run recruits) costs no vector fill.
+        self._latency_block = _EMPTY_BLOCK
+        self._latency_pos = 0
+        self._label_block = _EMPTY_BLOCK
+        self._label_pos = 0
+
+    def _take_normals(self, count: int) -> np.ndarray:
+        """The next ``count`` standard normals, refilling across boundaries.
+
+        Consumption is strictly sequential: a request that straddles a block
+        boundary drains the current block, pulls whole blocks as needed, and
+        leaves the final partial block positioned mid-way — so the returned
+        values are exactly the ones ``count`` scalar draws would have seen.
+        """
+        block = self._latency_block
+        position = self._latency_pos
+        end = position + count
+        if end <= len(block):
+            self._latency_pos = end
+            return block[position:end]
+        parts = [block[position:]]
+        needed = count - (len(block) - position)
+        while needed > self._block_size:
+            parts.append(self._latency_rng.standard_normal(self._block_size))
+            needed -= self._block_size
+        block = self._latency_rng.standard_normal(self._block_size)
+        self._latency_block = block
+        self._latency_pos = needed
+        parts.append(block[:needed])
+        return np.concatenate(parts)
+
+    def draw_latency(self, num_records: int = 1) -> float:
+        """Block-fed equivalent of :meth:`WorkerProfile.draw_latency`.
+
+        Same distribution, same truncation floor, same multi-record sum —
+        but the normals come from this worker's pre-drawn block instead of a
+        shared per-platform generator.
+        """
+        if num_records < 1:
+            raise ValueError(f"num_records must be >= 1, got {num_records}")
+        profile = self.profile
+        if num_records == 1:
+            block = self._latency_block
+            position = self._latency_pos
+            if position >= len(block):
+                block = self._latency_rng.standard_normal(self._block_size)
+                self._latency_block = block
+                position = 0
+            self._latency_pos = position + 1
+            draw = float(
+                profile.mean_latency + profile.latency_std * block[position]
+            )
+            return draw if draw > MIN_TASK_LATENCY_SECONDS else MIN_TASK_LATENCY_SECONDS
+        draws = profile.mean_latency + profile.latency_std * self._take_normals(
+            num_records
+        )
+        np.maximum(draws, MIN_TASK_LATENCY_SECONDS, out=draws)
+        return float(draws.sum())
+
+    def draw_labels(
+        self, true_labels: Sequence[int], num_classes: int = 2
+    ) -> list[int]:
+        """Block-fed equivalent of :meth:`WorkerProfile.draw_labels`."""
+        if num_classes < 2:
+            raise ValueError(f"num_classes must be >= 2, got {num_classes}")
+        accuracy = self.profile.accuracy
+        wrong_rng = self._wrong_rng
+        labels: list[int] = []
+        block = self._label_block
+        position = self._label_pos
+        for true_label in true_labels:
+            if position >= len(block):
+                block = self._label_rng.random(self._block_size)
+                self._label_block = block
+                position = 0
+            uniform = block[position]
+            position += 1
+            true_label = int(true_label)
+            if uniform < accuracy:
+                labels.append(true_label)
+            else:
+                labels.append(
+                    WorkerProfile._draw_wrong_label(wrong_rng, true_label, num_classes)
+                )
+        self._label_pos = position
+        return labels
 
 
 @dataclass(frozen=True)
@@ -348,6 +513,15 @@ class WorkerObservations:
         return float(np.mean(self.completed_latencies))
 
     def empirical_std_latency(self) -> Optional[float]:
-        if len(self.completed_latencies) < 2:
-            return None
-        return float(np.std(self.completed_latencies, ddof=1))
+        """Sample std of completed latencies; ``None`` below two observations.
+
+        Delegates to :func:`repro.analysis.stats.empirical_std` so the
+        <2-observations sentinel cannot drift from the zero-variance
+        fallback inside ``one_sided_mean_test`` (they disagreed before the
+        helper existed).
+        """
+        # Imported lazily: ``repro.analysis`` imports ``repro.crowd.traces``
+        # at package load, so a module-level import here would be a cycle.
+        from ..analysis.stats import empirical_std
+
+        return empirical_std(self.completed_latencies)

@@ -764,16 +764,23 @@ class OracleParityRule(Rule):
 
     #: Modules that must contain at least one ``_SCAN_TWINS`` declaration.
     #: ``repro.api.engine`` is here because its process-pool executor is a
-    #: fast path over the threaded oracle: deleting either the registration
-    #: or the twin method is a finding.
+    #: fast path over the threaded oracle, and ``repro.crowd.platform``
+    #: because its struct-of-arrays assignment ledger is a fast path over
+    #: the per-dict ledger: deleting either a registration or a twin method
+    #: is a finding.
     REQUIRED_MODULES: ClassVar[tuple[str, ...]] = (
         "repro.core.mitigator",
         "repro.core.active_index",
         "repro.api.engine",
+        "repro.crowd.platform",
     )
 
     def applies_to(self, module: LintModule) -> bool:
-        return module.in_package("repro.core") or module.in_package("repro.api")
+        return (
+            module.in_package("repro.core")
+            or module.in_package("repro.api")
+            or module.in_package("repro.crowd")
+        )
 
     def check(self, module: LintModule) -> Iterator[Finding]:
         for class_def in ast.walk(module.tree):

@@ -7,6 +7,7 @@ from repro.analysis.latency_profile import empirical_cdf, profile_trace, worker_
 from repro.analysis.stats import (
     bootstrap_mean_ci,
     coefficient_of_variation,
+    empirical_std,
     one_sided_mean_test,
     percentile_summary,
 )
@@ -111,6 +112,56 @@ class TestOneSidedMeanTest:
     def test_invalid_significance_rejected(self):
         with pytest.raises(ValueError):
             one_sided_mean_test([1.0], threshold=1.0, significance=0.0)
+
+
+class TestEmpiricalStd:
+    """Regression: the <2-observations sentinel is ``None``, everywhere.
+
+    ``WorkerObservations.empirical_std_latency`` and the fallback inside
+    ``one_sided_mean_test`` used to hand-roll the small-sample case with
+    different conventions; both now route through ``empirical_std`` and
+    these pins hold the shared sentinel for n=0, n=1, and zero-variance
+    inputs.
+    """
+
+    def test_no_observations_is_none(self):
+        assert empirical_std([]) is None
+
+    def test_single_observation_is_none(self):
+        assert empirical_std([42.0]) is None
+
+    def test_zero_variance_is_zero_not_none(self):
+        """A degenerate sample has an estimate — exactly zero — which the
+        mean test treats like the missing-estimate fallback, but the two
+        cases stay distinguishable at the helper level."""
+        assert empirical_std([9.0, 9.0, 9.0]) == 0.0
+
+    def test_matches_numpy_sample_std(self):
+        values = [4.0, 7.0, 13.0, 16.0]
+        assert empirical_std(values) == pytest.approx(
+            np.std(values, ddof=1)
+        )
+
+    def test_worker_observations_share_the_sentinel(self):
+        from repro.crowd.worker import WorkerObservations
+
+        observations = WorkerObservations(worker_id=0)
+        assert observations.empirical_std_latency() is None
+        observations.record_completion(5.0)
+        assert observations.empirical_std_latency() is None
+        observations.record_completion(5.0)
+        assert observations.empirical_std_latency() == 0.0
+
+    @pytest.mark.parametrize("values", [[10.0], [9.0, 9.0]])
+    def test_mean_test_fallback_agrees_with_sentinel(self, values):
+        """Whenever the helper reports no usable variance (None or 0.0),
+        the mean test must take the direct-comparison fallback: NaN
+        statistic, p in {0, 1}."""
+        std = empirical_std(values)
+        assert std is None or std == 0.0
+        result = one_sided_mean_test(values, threshold=8.0)
+        assert np.isnan(result.statistic)
+        assert result.p_value in (0.0, 1.0)
 
 
 class TestSummaries:

@@ -60,13 +60,18 @@ class TestWeightedConsensusPin:
 class TestEnginePathFingerprintPin:
     """Full-run pin: quality-controlled labeling through the engine path."""
 
-    #: Values produced by the pre-rewrite brute-force oracle (seed 7,
-    #: 3 votes, pool 12, 30 records) — and by every path since.
+    #: Pinned run: seed 7, 3 votes, pool 12, 30 records.  Re-pinned when
+    #: latency/label draws moved from the shared platform generator to the
+    #: per-worker ``WorkerDrawBlock`` streams (seeded ``[seed, worker_id,
+    #: stream]``): the simulated crowd's draws re-keyed, so the trajectory
+    #: legitimately changed once.  Recruitment (the seed+1 stream) was
+    #: untouched, which is why ``recruitment_seconds_total`` kept its
+    #: original pinned value — that carry-over is itself part of the pin.
     EXPECTED_COUNTERS = {
-        "assignments_started": 154,
+        "assignments_started": 168,
         "assignments_completed": 90,
-        "assignments_terminated": 64,
-        "records_labeled_paid": 154,
+        "assignments_terminated": 78,
+        "records_labeled_paid": 168,
         "workers_recruited": 12,
         "workers_replaced": 0,
         "workers_abandoned": 0,
@@ -78,13 +83,13 @@ class TestEnginePathFingerprintPin:
         for counter, expected in self.EXPECTED_COUNTERS.items():
             assert fingerprint["counters"][counter] == expected, counter
         assert len(fingerprint["labels"]) == 30
-        assert sum(fingerprint["labels"].values()) == 16
+        assert sum(fingerprint["labels"].values()) == 17
         assert fingerprint["events_processed"] == 90
         assert fingerprint["sim_seconds"] == pytest.approx(
-            48.69609239418373, rel=1e-9
+            42.54417987576907, rel=1e-9
         )
         assert fingerprint["total_cost"] == pytest.approx(
-            3.091970515273524, rel=1e-9
+            3.3608333333333333, rel=1e-9
         )
         assert fingerprint["counters"]["recruitment_seconds_total"] == pytest.approx(
             2665.3954346291775, rel=1e-9

@@ -190,6 +190,37 @@ class TestReplacement:
         with pytest.raises(KeyError):
             platform.replace_worker(424242)
 
+    def test_same_timestamp_replacement_after_completion(self, platform):
+        """Complete then replace at one timestamp: the completed assignment
+        must not be re-terminated during the eviction."""
+        worker_id = platform.pool.worker_ids[0]
+        assignment = platform.start_assignment(make_task(), worker_id)
+        platform.queue.pop()
+        platform.complete_assignment(assignment)
+        platform.replace_worker(worker_id)
+        assert platform.counters.assignments_terminated == 0
+        assert worker_id not in platform.pool
+
+    def test_replacement_with_stale_assignment_watermark(self, platform):
+        """A stale ``current_assignment_id`` (caller-driven slot churn) must
+        resolve through the ledger's activity check, not terminate."""
+        worker_id = platform.pool.worker_ids[0]
+        assignment = platform.start_assignment(make_task(), worker_id)
+        platform.queue.pop()
+        platform.complete_assignment(assignment)
+        platform.pool.slot(worker_id).current_assignment_id = (
+            assignment.assignment_id
+        )
+        platform.replace_worker(worker_id)
+        assert platform.counters.assignments_terminated == 0
+
+    def test_never_assigned_slot_replacement(self, platform):
+        """Eviction of a worker who never drew an assignment is clean."""
+        worker_id = platform.pool.worker_ids[0]
+        platform.replace_worker(worker_id)
+        assert platform.counters.assignments_terminated == 0
+        assert platform.counters.assignments_started == 0
+
     def test_refill_pool_uses_reserve(self, platform):
         platform.configure_reserve(3)
         platform.queue.advance_to(1e9)
@@ -204,3 +235,82 @@ class TestSettlement:
         platform.queue.advance_to(100.0)
         platform.settle()
         assert platform.pool.total_waiting_seconds() == pytest.approx(500.0)
+
+
+class TestLedgerToggle:
+    """``use_soa_state`` swaps the assignment ledger, nothing else."""
+
+    def _run_trace(self, population_factory, use_soa_state, draw_block_size=64):
+        # Populations are stateful (sampling advances their RNG and id
+        # counter), so each replay gets a freshly built one.
+        platform = SimulatedCrowdPlatform(
+            population_factory(),
+            seed=3,
+            use_soa_state=use_soa_state,
+            draw_block_size=draw_block_size,
+        )
+        platform.initialize_pool(5)
+        trace = []
+        for index in range(12):
+            available = platform.pool.available_workers()
+            if not available:
+                platform.queue.pop()
+                continue
+            assignment = platform.start_assignment(
+                make_task(task_id=index, num_records=2), available[0].worker_id
+            )
+            if index % 3 == 2:
+                platform.terminate_assignment(assignment)
+                trace.append(("terminated", assignment.duration))
+            else:
+                platform.queue.pop()
+                labels = platform.complete_assignment(assignment)
+                trace.append(("completed", assignment.duration, tuple(labels)))
+        trace.append(("now", platform.now))
+        trace.append(("counters", str(platform.counters)))
+        return trace
+
+    def test_ledgers_replay_identically(self, small_population_factory):
+        soa = self._run_trace(small_population_factory, use_soa_state=True)
+        oracle = self._run_trace(small_population_factory, use_soa_state=False)
+        assert soa == oracle
+
+    def test_block_size_is_not_observable(self, small_population_factory):
+        factory = small_population_factory
+        reference = self._run_trace(factory, True, draw_block_size=64)
+        assert self._run_trace(factory, True, draw_block_size=1) == reference
+        assert self._run_trace(factory, True, draw_block_size=1000) == reference
+
+    def test_invalid_block_size_rejected(self, small_population):
+        with pytest.raises(ValueError):
+            SimulatedCrowdPlatform(small_population, draw_block_size=0)
+
+    def test_soa_ledger_rejects_sparse_ids(self, small_population):
+        """The SoA columns rely on dense sequential assignment ids."""
+        from repro.crowd.platform import _SoaAssignmentLedger
+
+        platform = SimulatedCrowdPlatform(small_population, seed=0)
+        platform.initialize_pool(2)
+        assignment = platform.start_assignment(
+            make_task(), platform.pool.worker_ids[0]
+        )
+        fresh = _SoaAssignmentLedger()
+        task = platform.task_for_assignment(assignment)
+        with pytest.raises(ValueError):
+            # The platform's counter has already moved past 0, so recording
+            # this assignment into an empty ledger violates density.
+            assignment_two = platform.start_assignment(
+                make_task(1), platform.pool.worker_ids[1]
+            )
+            fresh.record(assignment_two, task, event=None)
+
+    def test_departed_worker_block_is_dropped(self, small_population):
+        platform = SimulatedCrowdPlatform(small_population, seed=0)
+        platform.initialize_pool(3)
+        worker_id = platform.pool.worker_ids[0]
+        assignment = platform.start_assignment(make_task(), worker_id)
+        platform.queue.pop()
+        platform.complete_assignment(assignment)
+        assert worker_id in platform._draw_blocks
+        platform.replace_worker(worker_id)
+        assert worker_id not in platform._draw_blocks
